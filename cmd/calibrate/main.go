@@ -1,0 +1,215 @@
+// Command calibrate prints the key calibration statistics of the
+// synthetic world against the paper's published anchors. It is a
+// development tool: run it after changing model parameters to see which
+// targets drift.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"userv6/internal/abuse"
+	"userv6/internal/core"
+	"userv6/internal/netaddr"
+	"userv6/internal/netmodel"
+	"userv6/internal/population"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+func main() {
+	users := flag.Int("users", 40000, "population size")
+	flag.Parse()
+
+	scale := float64(*users) / 200000.0
+	world := netmodel.BuildWorld(netmodel.WorldConfig{Seed: 1, Scale: scale})
+	pcfg := population.DefaultConfig()
+	pcfg.Users = *users
+	pop := population.Synthesize(world, pcfg)
+	gen := telemetry.NewGenerator(pop, 1)
+
+	acfg := abuse.DefaultConfig()
+	acfg.AccountsPerDay = int(float64(acfg.AccountsPerDay) * scale)
+	ab := abuse.NewGenerator(world, acfg)
+
+	// ---- Fig 1: daily prevalence on a pre-pandemic weekday, weekend,
+	// and lockdown day.
+	for _, d := range []simtime.Day{5, 9, 80} {
+		prev := core.NewPrevalence()
+		gen.GenerateDay(d, prev.Observe)
+		ds := prev.Daily()[0]
+		fmt.Printf("fig1 day=%-3d (%-9s wknd=%-5v lock=%.2f) userV6=%.3f reqV6=%.3f\n",
+			int(d), d.Weekday(), d.IsWeekend(), simtime.LockdownIntensity(d), ds.UserShare, ds.ReqShare)
+	}
+
+	// ---- Week analyses (Apr 13-19).
+	const from, to = simtime.AnalysisWeekStart, simtime.AnalysisWeekEnd
+	ucWeek := core.NewUserCentric()
+	ucDay := core.NewUserCentric()
+	prevWeek := core.NewPrevalence()
+	gen.Generate(from, to, func(o telemetry.Observation) {
+		ucWeek.Observe(o)
+		prevWeek.Observe(o)
+		if o.Day == to {
+			ucDay.Observe(o)
+		}
+	})
+
+	// Fig 2: addresses per user.
+	for _, c := range []struct {
+		name string
+		uc   *core.UserCentric
+	}{{"1day", ucDay}, {"7day", ucWeek}} {
+		h4 := c.uc.AddrsPerUser(netaddr.IPv4)
+		h6 := c.uc.AddrsPerUser(netaddr.IPv6)
+		fmt.Printf("fig2 %s v4: single=%.2f >5=%.2f med=%d | v6: single=%.2f >5=%.2f med=%d\n",
+			c.name, h4.CDFAt(1), h4.FracAbove(5), h4.Median(),
+			h6.CDFAt(1), h6.FracAbove(5), h6.Median())
+	}
+	// Paper: day single 37% v4 / 32% v6, >5: 19% v4 / 20% v6.
+	// Week medians: 6 v4, 9 v6.
+
+	// Fig 4: prefix spans.
+	spans := ucWeek.PrefixSpans([]int{32, 40, 44, 48, 56, 64, 72, 96, 128})
+	for _, s := range spans {
+		fmt.Printf("fig4 /%d one=%.2f <=2=%.2f <=3=%.2f\n", s.Length, s.One, s.AtMost2, s.AtMost3)
+	}
+
+	// §4.4 patterns.
+	pat := ucWeek.AddrPatterns()
+	fmt.Printf("s44 teredo=%.5f 6to4=%.5f eui64=%.4f euiReuse=%.2f structured=%.4f\n",
+		pat.TeredoShare, pat.SixToFourShare, pat.EUI64Share, pat.EUI64IIDReuse, pat.StructuredShare)
+
+	// Table 1: top ASNs.
+	rows := prevWeek.TopASNs(max(50, *users/150), 10, world.ASNName)
+	for i, r := range rows {
+		fmt.Printf("tab1 #%-2d AS%-6d %-24s ratio=%.2f users=%d\n", i+1, r.ASN, r.Name, r.Ratio, r.Users)
+	}
+	zero, under, total := prevWeek.ASNShareBands(max(50, *users/150))
+	fmt.Printf("tab1 bands zero=%.3f under10=%.3f totalASNs=%d\n", zero, under, total)
+
+	// Table 2: top countries + Germany shift.
+	fmt.Println("tab2 top countries (apr):")
+	for i, r := range prevWeek.TopCountries(max(50, *users/1000), 10) {
+		fmt.Printf("tab2 #%-2d %s ratio=%.3f users=%d\n", i+1, r.Country, r.Ratio, r.Users)
+	}
+	prevJan := core.NewPrevalence()
+	gen.Generate(simtime.JanWeekStart, simtime.JanWeekEnd, prevJan.Observe)
+	for _, cc := range []string{"DE", "GR", "IN", "US"} {
+		ja, _ := prevJan.CountryRatio(cc)
+		ap, _ := prevWeek.CountryRatio(cc)
+		fmt.Printf("tab2 %s jan=%.3f apr=%.3f\n", cc, ja, ap)
+	}
+
+	// ---- Fig 5/6: lifespans over a 28-day lookback ending Apr 19.
+	ls := core.NewLifespans(to, 32, 48, 64, 128)
+	gen.Generate(to-27, to, ls.Observe)
+	for _, c := range []struct {
+		name string
+		fam  netaddr.Family
+		len  int
+	}{{"v4", netaddr.IPv4, 32}, {"v6", netaddr.IPv6, 128}} {
+		h := ls.AgeHist(c.fam, c.len)
+		fmt.Printf("fig5 %s: fresh=%.3f >7d=%.3f >27d=%.4f pairs=%d\n",
+			c.name, h.CDFAt(0), h.FracAbove(7), h.FracAbove(26), int(h.N()))
+	}
+	for _, fam := range []netaddr.Family{netaddr.IPv4, netaddr.IPv6} {
+		for _, fs := range ls.FreshShares(fam) {
+			fmt.Printf("fig6 %s /%d within1=%.2f within3=%.2f pairs=%d\n", fam, fs.Length, fs.Within1, fs.Within3, fs.Pairs)
+		}
+	}
+
+	// ---- Fig 7/8/9/10: IP-centric, Apr 13-19 week, full platform view
+	// (benign + abusive).
+	ics := map[string]*core.IPCentric{
+		"v4/32":  core.NewIPCentric(netaddr.IPv4, 32),
+		"v6/128": core.NewIPCentric(netaddr.IPv6, 128),
+		"v6/72":  core.NewIPCentric(netaddr.IPv6, 72),
+		"v6/68":  core.NewIPCentric(netaddr.IPv6, 68),
+		"v6/64":  core.NewIPCentric(netaddr.IPv6, 64),
+		"v6/56":  core.NewIPCentric(netaddr.IPv6, 56),
+		"v6/48":  core.NewIPCentric(netaddr.IPv6, 48),
+		"v6/44":  core.NewIPCentric(netaddr.IPv6, 44),
+	}
+	icDay4 := core.NewIPCentric(netaddr.IPv4, 32)
+	icDay6 := core.NewIPCentric(netaddr.IPv6, 128)
+	feed := func(o telemetry.Observation) {
+		for _, ic := range ics {
+			ic.Observe(o)
+		}
+		if o.Day == from {
+			icDay4.Observe(o)
+			icDay6.Observe(o)
+		}
+	}
+	gen.Generate(from, to, feed)
+	ab.Generate(from, to, feed)
+
+	fmt.Printf("fig7 day  v4 single=%.3f | v6 single=%.3f\n",
+		icDay4.UsersPerPrefix().CDFAt(1), icDay6.UsersPerPrefix().CDFAt(1))
+	fmt.Printf("fig7 week v4 single=%.3f | v6 single=%.3f v6<=2=%.4f\n",
+		ics["v4/32"].UsersPerPrefix().CDFAt(1), ics["v6/128"].UsersPerPrefix().CDFAt(1),
+		ics["v6/128"].UsersPerPrefix().CDFAt(2))
+	fmt.Printf("fig8 AAs/addr single: v4=%.3f v6=%.3f | benign on AA-addrs: v4 zero=%.3f v4>10=%.3f v6 zero=%.3f v6>1=%.3f\n",
+		ics["v4/32"].AbusivePerAbusivePrefix().CDFAt(1),
+		ics["v6/128"].AbusivePerAbusivePrefix().CDFAt(1),
+		ics["v4/32"].BenignPerAbusivePrefix().CDFAt(0),
+		ics["v4/32"].BenignPerAbusivePrefix().FracAbove(10),
+		ics["v6/128"].BenignPerAbusivePrefix().CDFAt(0),
+		ics["v6/128"].BenignPerAbusivePrefix().FracAbove(1))
+	for _, k := range []string{"v6/128", "v6/72", "v6/68", "v6/64", "v6/56", "v6/48", "v6/44", "v4/32"} {
+		fmt.Printf("fig9 %s single=%.3f prefixes=%d\n", k, ics[k].UsersPerPrefix().CDFAt(1), ics[k].Prefixes())
+	}
+	for _, k := range []string{"v6/128", "v6/64", "v6/56", "v4/32"} {
+		fmt.Printf("fig10 %s AA single=%.3f benign<=1=%.3f\n",
+			k, ics[k].AbusivePerAbusivePrefix().CDFAt(1), ics[k].BenignPerAbusivePrefix().CDFAt(1))
+	}
+
+	// Outliers (§6.1.3).
+	hc := ics["v6/128"].ConcentrationAbove(max(20, *users/1500), world.ASNOf)
+	fmt.Printf("outlier v6 heavy(>%d)=%d topASN=%d share=%.2f structured=%.2f | v4 heavy=%d\n",
+		max(20, *users/1500), hc.Heavy, hc.TopASN, hc.TopASNShare, hc.StructuredShare,
+		ics["v4/32"].PrefixesWithMoreThan(max(20, *users/1500)))
+	fmt.Printf("outlier top v4 addr=%d users; top v6 addr=%d users; top v6 /64=%d users\n",
+		top1(ics["v4/32"]), top1(ics["v6/128"]), top1(ics["v6/64"]))
+
+	// ---- Fig 11: ROC day n -> n+1 (Apr 18 -> 19).
+	for _, spec := range []struct {
+		name string
+		fam  netaddr.Family
+		len  int
+	}{{"/128", netaddr.IPv6, 128}, {"/64", netaddr.IPv6, 64}, {"/56", netaddr.IPv6, 56}, {"v4", netaddr.IPv4, 32}} {
+		act := core.NewActioning(spec.fam, spec.len)
+		gen.GenerateDay(to-1, act.ObserveDayN)
+		ab.GenerateDay(to-1, act.ObserveDayN)
+		gen.GenerateDay(to, act.ObserveDayN1)
+		ab.GenerateDay(to, act.ObserveDayN1)
+		for _, t := range []float64{0, 0.1, 1.0} {
+			c := act.Counts(t)
+			fmt.Printf("fig11 %s t=%.1f TPR=%.3f FPR=%.5f\n", spec.name, t, c.TPR(), c.FPR())
+		}
+	}
+
+	// Fig 3: abusive addresses per account, one day.
+	aaDay := core.NewUserCentricFor(true)
+	ab.GenerateDay(to, aaDay.Observe)
+	h4 := aaDay.AddrsPerUser(netaddr.IPv4)
+	h6 := aaDay.AddrsPerUser(netaddr.IPv6)
+	fmt.Printf("fig3 AA 1day v4: single=%.2f med=%d | v6: single=%.2f med=%d (accounts=%d)\n",
+		h4.CDFAt(1), h4.Median(), h6.CDFAt(1), h6.Median(), aaDay.Users())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func top1(ic *core.IPCentric) int {
+	tops := ic.TopPrefixes(1)
+	if len(tops) == 0 {
+		return 0
+	}
+	return tops[0].Users
+}

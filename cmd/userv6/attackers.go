@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"userv6"
+	"userv6/internal/report"
+)
+
+func init() {
+	experimentOrder = append(experimentOrder, "scrapers", "hijacks", "pandemic")
+	experiments["scrapers"] = experiment{"logged-out scraper defense (§8 future work)", runScrapers}
+	experiments["hijacks"] = experiment{"account-hijack detection (§8 future work)", runHijacks}
+	experiments["pandemic"] = experiment{"Appendix A pre/post-lockdown robustness", runPandemic}
+}
+
+func runScrapers(sim *userv6.Sim) {
+	t := report.NewTable("granularity", "budget/day", "scraper volume blocked", "benign volume lost")
+	for _, r := range sim.ScraperDefense([]uint64{100, 200, 500, 1000}) {
+		t.Row(r.Name, r.CapPerDay, report.Percent(r.ScraperBlockShare), report.Percent(r.BenignLossShare))
+	}
+	t.Write(os.Stdout)
+	fmt.Println("\nIID-hopping defeats per-address caps; /64 budgets recover the lost volume.")
+}
+
+func runHijacks(sim *userv6.Sim) {
+	r := sim.DetectHijacks()
+	report.NewTable("metric", "value").
+		Row("compromised accounts", r.Victims).
+		Row("detected by IP novelty", r.Detected).
+		Row("recall", report.Percent(r.Recall)).
+		Row("false alarms", r.FalseAlarms).
+		Row("false-alarm share of users", report.Percent(r.FalseAlarmShare)).
+		Write(os.Stdout)
+	fmt.Println("\ndetector: established account suddenly on hosting/proxy space.")
+}
+
+func runPandemic(sim *userv6.Sim) {
+	c := sim.ComparePandemic()
+	t := report.NewTable("metric", "pre-lockdown (Feb)", "lockdown (Apr)")
+	t.Row("median v4 addrs/user", c.Pre.MedianV4Addrs, c.Lockdown.MedianV4Addrs)
+	t.Row("median v6 addrs/user", c.Pre.MedianV6Addrs, c.Lockdown.MedianV6Addrs)
+	t.Row("single-/64 users", report.Percent(c.Pre.SingleSlash64Share), report.Percent(c.Lockdown.SingleSlash64Share))
+	t.Row("day-fresh v4 pairs", report.Percent(c.Pre.FreshV4), report.Percent(c.Lockdown.FreshV4))
+	t.Row("day-fresh v6 pairs", report.Percent(c.Pre.FreshV6), report.Percent(c.Lockdown.FreshV6))
+	t.Write(os.Stdout)
+	fmt.Println("\nshifts are small: the study's conclusions hold in both regimes (Appendix A).")
+}

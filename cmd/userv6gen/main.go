@@ -1,0 +1,244 @@
+// Command userv6gen exports synthetic telemetry to files and inspects
+// them: the offline half of the pipeline, for feeding the datasets into
+// external tooling (the JSONL form) or replaying them through the
+// analyzers without regeneration (the binary form).
+//
+// Usage:
+//
+//	userv6gen gen  -users 20000 -from 81 -to 87 -format binary -o week.uv6
+//	userv6gen info -i week.uv6
+//	userv6gen analyze -i week.uv6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"userv6"
+	"userv6/internal/core"
+	"userv6/internal/dataset"
+	"userv6/internal/netaddr"
+	"userv6/internal/report"
+	"userv6/internal/sampling"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "gen":
+		runGen(args)
+	case "info":
+		runInfo(args)
+	case "analyze":
+		runAnalyze(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: userv6gen <gen|info|analyze> [flags]
+
+  gen      generate a telemetry dataset file
+  info     summarize a dataset file
+  analyze  run the user/IP-centric analyzers over a dataset file`)
+	os.Exit(2)
+}
+
+func runGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	users := fs.Int("users", 20_000, "population size")
+	seed := fs.Uint64("seed", 1, "scenario seed")
+	from := fs.Int("from", int(simtime.AnalysisWeekStart), "first day index")
+	to := fs.Int("to", int(simtime.AnalysisWeekEnd), "last day index")
+	format := fs.String("format", "dataset", "dataset (headered), binary, or jsonl")
+	out := fs.String("o", "telemetry.uv6", "output path")
+	benignOnly := fs.Bool("benign-only", false, "omit abusive accounts")
+	sampleSpec := fs.String("sample", "all", "sampler: all, user:R, addr:R, prefixL:R")
+	fs.Parse(args)
+
+	sampler, err := sampling.Parse(*sampleSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	sim := userv6.NewSim(userv6.DefaultScenario(*users).WithSeed(*seed))
+
+	if *format == "dataset" {
+		meta := dataset.Meta{
+			Seed: *seed, Users: *users, FromDay: *from, ToDay: *to,
+			Sample: *sampleSpec, BenignOnly: *benignOnly,
+		}
+		w, err := dataset.Create(*out, meta)
+		if err != nil {
+			fatal(err)
+		}
+		emit, errp := w.Emit()
+		emit = sampling.Filter(sampler, emit)
+		if *benignOnly {
+			sim.Benign.Generate(simtime.Day(*from), simtime.Day(*to), emit)
+		} else {
+			sim.Generate(simtime.Day(*from), simtime.Day(*to), emit)
+		}
+		if *errp != nil {
+			fatal(*errp)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("wrote dataset (%d users, days %d-%d) to %s (%d bytes)\n",
+			*users, *from, *to, *out, st.Size())
+		return
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var write func(telemetry.Observation) error
+	var flush func() error
+	switch *format {
+	case "binary":
+		w := telemetry.NewWriter(f)
+		write, flush = w.Write, w.Flush
+	case "jsonl":
+		w := telemetry.NewJSONLWriter(f)
+		write, flush = w.Write, w.Flush
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+
+	n := 0
+	var emit telemetry.EmitFunc = func(o telemetry.Observation) {
+		if err := write(o); err != nil {
+			fatal(err)
+		}
+		n++
+	}
+	emit = sampling.Filter(sampler, emit)
+	if *benignOnly {
+		sim.Benign.Generate(simtime.Day(*from), simtime.Day(*to), emit)
+	} else {
+		sim.Generate(simtime.Day(*from), simtime.Day(*to), emit)
+	}
+	if err := flush(); err != nil {
+		fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %d observations (%d users, days %d-%d, %s) to %s (%d bytes)\n",
+		n, *users, *from, *to, *format, *out, st.Size())
+}
+
+func runInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "telemetry.uv6", "input path (binary format)")
+	fs.Parse(args)
+
+	r := openReader(*in)
+	var (
+		n, abusive int
+		v4, v6     int
+		users      = map[uint64]struct{}{}
+		minD, maxD = simtime.Day(1 << 30), simtime.Day(-1)
+		requests   uint64
+	)
+	err := r.ForEach(func(o telemetry.Observation) {
+		n++
+		if o.Abusive {
+			abusive++
+		}
+		if o.Addr.Is6() {
+			v6++
+		} else {
+			v4++
+		}
+		users[o.UserID] = struct{}{}
+		if o.Day < minD {
+			minD = o.Day
+		}
+		if o.Day > maxD {
+			maxD = o.Day
+		}
+		requests += uint64(o.Requests)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report.NewTable("metric", "value").
+		Row("observations", n).
+		Row("abusive observations", abusive).
+		Row("IPv4 / IPv6 observations", fmt.Sprintf("%d / %d", v4, v6)).
+		Row("distinct entities", len(users)).
+		Row("days", fmt.Sprintf("%d..%d", int(minD), int(maxD))).
+		Row("total requests", requests).
+		Write(os.Stdout)
+}
+
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("i", "telemetry.uv6", "input path (binary format)")
+	fs.Parse(args)
+
+	r := openReader(*in)
+	uc := core.NewUserCentricFor(false)
+	ic4 := core.NewIPCentric(netaddr.IPv4, 32)
+	ic6 := core.NewIPCentric(netaddr.IPv6, 128)
+	ic64 := core.NewIPCentric(netaddr.IPv6, 64)
+	if err := r.ForEach(func(o telemetry.Observation) {
+		uc.Observe(o)
+		ic4.Observe(o)
+		ic6.Observe(o)
+		ic64.Observe(o)
+	}); err != nil {
+		fatal(err)
+	}
+
+	h4, h6 := uc.AddrsPerUser(netaddr.IPv4), uc.AddrsPerUser(netaddr.IPv6)
+	report.NewTable("metric", "IPv4", "IPv6").
+		Row("users", int(h4.N()), int(h6.N())).
+		Row("median addrs/user", h4.Median(), h6.Median()).
+		Row("single-addr users", report.Percent(h4.CDFAt(1)), report.Percent(h6.CDFAt(1))).
+		Row("addresses seen", ic4.Prefixes(), ic6.Prefixes()).
+		Row("single-user addrs", report.Percent(ic4.UsersPerPrefix().CDFAt(1)), report.Percent(ic6.UsersPerPrefix().CDFAt(1))).
+		Write(os.Stdout)
+	fmt.Printf("\nIPv6 /64s: %d (single-user: %s)\n",
+		ic64.Prefixes(), report.Percent(ic64.UsersPerPrefix().CDFAt(1)))
+	pat := uc.AddrPatterns()
+	fmt.Printf("EUI-64 users: %s; transition-protocol users: %s\n",
+		report.Percent(pat.EUI64Share), report.Percent(pat.TeredoShare+pat.SixToFourShare))
+}
+
+// streamSource abstracts dataset and raw binary inputs.
+type streamSource interface {
+	ForEach(telemetry.EmitFunc) error
+}
+
+// openReader opens a dataset file (headered) or a raw binary stream,
+// printing the dataset metadata when available.
+func openReader(path string) streamSource {
+	if r, err := dataset.Open(path); err == nil {
+		m := r.Meta()
+		fmt.Printf("dataset: seed=%d users=%d days=%d..%d sample=%s records=%d\n\n",
+			m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.Records)
+		return r
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	return telemetry.NewReader(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "userv6gen:", err)
+	os.Exit(1)
+}

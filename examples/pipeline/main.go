@@ -1,0 +1,87 @@
+// Pipeline: the offline workflow — generate a telemetry dataset once,
+// persist it with metadata, then run analyses from the file without
+// regeneration. This is how the library would be used against real
+// telemetry exports (see docs/REPLICATION.md).
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"userv6"
+	"userv6/internal/core"
+	"userv6/internal/dataset"
+	"userv6/internal/netaddr"
+	"userv6/internal/report"
+	"userv6/internal/sampling"
+	"userv6/internal/telemetry"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "userv6-pipeline")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "week.uv6")
+
+	// Step 1: generate one analysis week into a dataset file, applying
+	// the paper's user-sampling methodology at 50%.
+	sim := userv6.NewSim(userv6.DefaultScenario(8_000))
+	from, to := userv6.AnalysisWeek()
+	sampler := sampling.ByUser(0.5, 42)
+	w, err := dataset.Create(path, dataset.Meta{
+		Seed: sim.Scenario.Seed, Users: sim.Scenario.Users,
+		FromDay: int(from), ToDay: int(to), Sample: "user:0.5",
+	})
+	if err != nil {
+		panic(err)
+	}
+	emit, emitErr := w.Emit()
+	sim.Generate(from, to, sampling.Filter(sampler, emit))
+	if *emitErr != nil {
+		panic(*emitErr)
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("step 1: wrote %s (%d KiB)\n", filepath.Base(path), st.Size()/1024)
+
+	// Step 2: reopen and analyze — no simulator involved from here on.
+	r, err := dataset.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	defer r.Close()
+	m := r.Meta()
+	fmt.Printf("step 2: dataset seed=%d users=%d days=%d..%d sample=%s records=%d\n\n",
+		m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.Records)
+
+	uc := core.NewUserCentricFor(false)
+	ic6 := core.NewIPCentric(netaddr.IPv6, 128)
+	fromDay, _ := m.Window()
+	churn := core.NewChurnAttribution(fromDay)
+	if err := r.ForEach(func(o telemetry.Observation) {
+		uc.Observe(o)
+		ic6.Observe(o)
+		churn.Observe(o)
+	}); err != nil {
+		panic(err)
+	}
+
+	h4, h6 := uc.AddrsPerUser(netaddr.IPv4), uc.AddrsPerUser(netaddr.IPv6)
+	report.NewTable("metric", "value").
+		Row("sampled users", uc.Users()).
+		Row("extrapolated users", fmt.Sprintf("%.0f", float64(uc.Users())/0.5)).
+		Row("v4 / v6 weekly medians", fmt.Sprintf("%d / %d", h4.Median(), h6.Median())).
+		Row("single-user v6 addresses", report.Percent(ic6.UsersPerPrefix().CDFAt(1))).
+		Write(os.Stdout)
+
+	b := churn.Breakdown()
+	fmt.Printf("\nnew-address causes: %s rotation, %s subnet move, %s network switch\n",
+		report.Percent(b.Share(0)), report.Percent(b.Share(1)), report.Percent(b.Share(2)))
+}

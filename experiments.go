@@ -1,0 +1,388 @@
+package userv6
+
+import (
+	"userv6/internal/core"
+	"userv6/internal/netaddr"
+	"userv6/internal/netmodel"
+	"userv6/internal/simtime"
+	"userv6/internal/stats"
+	"userv6/internal/telemetry"
+)
+
+// Fig4Lengths are the prefix lengths swept by Figure 4.
+var Fig4Lengths = []int{32, 36, 40, 44, 48, 52, 56, 60, 64, 68, 72, 80, 96, 112, 128}
+
+// Fig9Lengths are the prefix lengths compared in Figure 9 (plus IPv4).
+var Fig9Lengths = []int{128, 96, 72, 68, 64, 56, 48, 44}
+
+// Fig1 computes the daily IPv6 prevalence series for [from, to]
+// (Figure 1). Only benign traffic counts, as in the paper's user and
+// request random samples.
+func (s *Sim) Fig1(from, to simtime.Day) []core.DayShare {
+	prev := core.NewPrevalence()
+	s.Benign.Generate(from, to, prev.Observe)
+	return prev.Daily()
+}
+
+// Table1Result is the ASN prevalence table plus the §4.2 bands.
+type Table1Result struct {
+	Rows              []core.RatioRow
+	ZeroShare         float64
+	UnderTenShare     float64
+	QualifyingASNs    int
+	MinUsersThreshold int
+}
+
+// Table1 ranks ASNs by IPv6 user ratio over [from, to] (Table 1).
+func (s *Sim) Table1(from, to simtime.Day) Table1Result {
+	prev := core.NewPrevalence()
+	s.Benign.Generate(from, to, prev.Observe)
+	min := s.Scenario.Users / 150
+	if min < 20 {
+		min = 20
+	}
+	zero, under, total := prev.ASNShareBands(min)
+	rows := prev.TopASNs(min, 10, s.World.ASNName)
+	// Attribute each ASN to its operator's country.
+	countryOf := make(map[netmodel.ASN]string, len(s.World.Networks()))
+	for _, n := range s.World.Networks() {
+		countryOf[n.ASN] = n.Country
+	}
+	for i := range rows {
+		rows[i].Country = countryOf[rows[i].ASN]
+	}
+	return Table1Result{
+		Rows:              rows,
+		ZeroShare:         zero,
+		UnderTenShare:     under,
+		QualifyingASNs:    total,
+		MinUsersThreshold: min,
+	}
+}
+
+// Table2Result holds country IPv6 ratios for two comparison windows.
+type Table2Result struct {
+	January, April []core.RatioRow
+	// Germany captures the lockdown shift (Appendix A.2).
+	GermanyJan, GermanyApr float64
+	GreeceJan, GreeceApr   float64
+}
+
+// Table2 computes country IPv6 user ratios for the Jan 23-29 and
+// Apr 13-19 weeks (Table 2 / Figure 12).
+func (s *Sim) Table2() Table2Result {
+	min := s.Scenario.Users / 1000
+	if min < 10 {
+		min = 10
+	}
+	jan := core.NewPrevalence()
+	s.Benign.Generate(simtime.JanWeekStart, simtime.JanWeekEnd, jan.Observe)
+	apr := core.NewPrevalence()
+	s.Benign.Generate(simtime.AnalysisWeekStart, simtime.AnalysisWeekEnd, apr.Observe)
+	var r Table2Result
+	r.January = jan.TopCountries(min, 10)
+	r.April = apr.TopCountries(min, 10)
+	r.GermanyJan, _ = jan.CountryRatio("DE")
+	r.GermanyApr, _ = apr.CountryRatio("DE")
+	r.GreeceJan, _ = jan.CountryRatio("GR")
+	r.GreeceApr, _ = apr.CountryRatio("GR")
+	return r
+}
+
+// CountryRatios returns every qualifying country's IPv6 user ratio over
+// the analysis week, descending — the data behind the Figure 12
+// choropleth.
+func (s *Sim) CountryRatios() []core.RatioRow {
+	min := s.Scenario.Users / 1000
+	if min < 10 {
+		min = 10
+	}
+	prev := core.NewPrevalence()
+	s.Benign.Generate(simtime.AnalysisWeekStart, simtime.AnalysisWeekEnd, prev.Observe)
+	return prev.TopCountries(min, 0)
+}
+
+// ClientAddrPatterns computes the §4.4 transition-protocol and IID
+// structure summary over the analysis week.
+func (s *Sim) ClientAddrPatterns() core.ClientAddrPatterns {
+	uc := core.NewUserCentric()
+	s.Benign.Generate(simtime.AnalysisWeekStart, simtime.AnalysisWeekEnd, uc.Observe)
+	return uc.AddrPatterns()
+}
+
+// AddrsPerUserResult holds Figure 2/3 histograms: distinct addresses per
+// entity for one day and one week, per family.
+type AddrsPerUserResult struct {
+	DayV4, DayV6, WeekV4, WeekV6 *stats.IntHist
+	Entities                     int
+}
+
+// Fig2 computes benign addresses-per-user CDF inputs (Figure 2) over the
+// analysis week, with the single-day cut on the week's last day.
+func (s *Sim) Fig2() AddrsPerUserResult {
+	return s.addrsPerEntity(false)
+}
+
+// Fig3 computes the abusive-account equivalent (Figure 3).
+func (s *Sim) Fig3() AddrsPerUserResult {
+	return s.addrsPerEntity(true)
+}
+
+func (s *Sim) addrsPerEntity(abusive bool) AddrsPerUserResult {
+	from, to := AnalysisWeek()
+	week := core.NewUserCentricFor(abusive)
+	day := core.NewUserCentricFor(abusive)
+	feed := func(o telemetry.Observation) {
+		week.Observe(o)
+		if o.Day == to {
+			day.Observe(o)
+		}
+	}
+	if abusive {
+		s.Abusive.Generate(from, to, feed)
+	} else {
+		s.Benign.Generate(from, to, feed)
+	}
+	return AddrsPerUserResult{
+		DayV4:    day.AddrsPerUser(netaddr.IPv4),
+		DayV6:    day.AddrsPerUser(netaddr.IPv6),
+		WeekV4:   week.AddrsPerUser(netaddr.IPv4),
+		WeekV6:   week.AddrsPerUser(netaddr.IPv6),
+		Entities: week.Users(),
+	}
+}
+
+// Fig4Result holds the prefix-span curves for users and abusive
+// accounts.
+type Fig4Result struct {
+	Users, Abusive []core.SpanShare
+}
+
+// Fig4 computes the share of entities whose IPv6 addresses span 1/2/3
+// prefixes at each length over the analysis week (Figure 4).
+func (s *Sim) Fig4() Fig4Result {
+	from, to := AnalysisWeek()
+	users := core.NewUserCentricFor(false)
+	aas := core.NewUserCentricFor(true)
+	s.Benign.Generate(from, to, users.Observe)
+	s.Abusive.Generate(from, to, aas.Observe)
+	return Fig4Result{
+		Users:   users.PrefixSpans(Fig4Lengths),
+		Abusive: aas.PrefixSpans(Fig4Lengths),
+	}
+}
+
+// LifespanResult holds Figure 5/6 outputs for one population.
+type LifespanResult struct {
+	// AgeV4/AgeV6 are the pair-age histograms at address granularity;
+	// MedianV4/MedianV6 the per-user median age histograms (Figure 5).
+	AgeV4, AgeV6       *stats.IntHist
+	MedianV4, MedianV6 *stats.IntHist
+	// FreshV4/FreshV6 are Figure 6's per-length freshness curves.
+	FreshV4, FreshV6 []core.FreshShare
+}
+
+// LifespanLengths are the prefix lengths Figure 6 sweeps.
+var LifespanLengths = []int{8, 16, 24, 32, 48, 64, 80, 96, 112, 128}
+
+// Fig5And6 computes address and prefix lifespans over a 28-day lookback
+// ending on the analysis week's last day, for benign users
+// (abusive=false) or abusive accounts (abusive=true).
+func (s *Sim) Fig5And6(abusive bool) LifespanResult {
+	_, ref := AnalysisWeek()
+	ls := core.NewLifespans(ref, LifespanLengths...).Restrict(abusive)
+	from := ref - 27
+	if from < 0 {
+		from = 0
+	}
+	if abusive {
+		s.Abusive.Generate(from, ref, ls.Observe)
+	} else {
+		s.Benign.Generate(from, ref, ls.Observe)
+	}
+	return LifespanResult{
+		AgeV4:    ls.AgeHist(netaddr.IPv4, 32),
+		AgeV6:    ls.AgeHist(netaddr.IPv6, 128),
+		MedianV4: ls.MedianAgePerUser(netaddr.IPv4, 32),
+		MedianV6: ls.MedianAgePerUser(netaddr.IPv6, 128),
+		FreshV4:  ls.FreshShares(netaddr.IPv4),
+		FreshV6:  ls.FreshShares(netaddr.IPv6),
+	}
+}
+
+// IPCentricResult bundles the per-granularity population analyzers for
+// Figures 7-10 and the outlier work. Keys are prefix lengths; V4 holds
+// the IPv4 address analyzer.
+type IPCentricResult struct {
+	V4 *core.IPCentric
+	V6 map[int]*core.IPCentric
+	// DayV4/DayV6 are single-day views (first day of the window).
+	DayV4, DayV6 *core.IPCentric
+}
+
+// IPCentricWeek runs the IP-centric analyzers over the analysis week at
+// the Figure 9 lengths, feeding both benign and abusive telemetry.
+func (s *Sim) IPCentricWeek() IPCentricResult {
+	from, to := AnalysisWeek()
+	r := IPCentricResult{
+		V4:    core.NewIPCentric(netaddr.IPv4, 32),
+		V6:    make(map[int]*core.IPCentric, len(Fig9Lengths)),
+		DayV4: core.NewIPCentric(netaddr.IPv4, 32),
+		DayV6: core.NewIPCentric(netaddr.IPv6, 128),
+	}
+	for _, l := range Fig9Lengths {
+		r.V6[l] = core.NewIPCentric(netaddr.IPv6, l)
+	}
+	feed := func(o telemetry.Observation) {
+		r.V4.Observe(o)
+		for _, ic := range r.V6 {
+			ic.Observe(o)
+		}
+		if o.Day == from {
+			r.DayV4.Observe(o)
+			r.DayV6.Observe(o)
+		}
+	}
+	s.Generate(from, to, feed)
+	return r
+}
+
+// OutlierResult summarizes RQ3: extreme users and extreme prefixes.
+type OutlierResult struct {
+	// Users with more than K addresses, per family, and the maxima.
+	HeavyUserThreshold         int
+	V4HeavyUsers, V6HeavyUsers int
+	V4MaxAddrs, V6MaxAddrs     int
+	// Addresses with more than K users, per family, and the maxima.
+	HeavyAddrThreshold         int
+	V4HeavyAddrs, V6HeavyAddrs int
+	V4MaxUsers, V6MaxUsers     int
+	V6Max64Users               int
+	// Concentration of heavy IPv6 addresses (ASN / structured IIDs).
+	V6Concentration core.HeavyConcentration
+}
+
+// Outliers computes the §5.1.3/§6.1.3 outlier summary over the analysis
+// week. Thresholds scale with the population (the paper's absolute
+// counts come from a 0.1% sample of a billion-user platform).
+func (s *Sim) Outliers() OutlierResult {
+	from, to := AnalysisWeek()
+	uc := core.NewUserCentric()
+	s.Benign.Generate(from, to, uc.Observe)
+	ipc := s.IPCentricWeek()
+
+	userThresh := 30
+	addrThresh := s.Scenario.Users / 1500
+	if addrThresh < 20 {
+		addrThresh = 20
+	}
+	r := OutlierResult{
+		HeavyUserThreshold: userThresh,
+		HeavyAddrThreshold: addrThresh,
+		V4HeavyUsers:       uc.UsersWithMoreThan(netaddr.IPv4, userThresh),
+		V6HeavyUsers:       uc.UsersWithMoreThan(netaddr.IPv6, userThresh),
+		V4HeavyAddrs:       ipc.V4.PrefixesWithMoreThan(addrThresh),
+		V6HeavyAddrs:       ipc.V6[128].PrefixesWithMoreThan(addrThresh),
+		V6Concentration:    ipc.V6[128].ConcentrationAbove(addrThresh, s.World.ASNOf),
+	}
+	if tops := uc.TopUsersByAddrs(netaddr.IPv4, 1); len(tops) > 0 {
+		r.V4MaxAddrs = tops[0].Count
+	}
+	if tops := uc.TopUsersByAddrs(netaddr.IPv6, 1); len(tops) > 0 {
+		r.V6MaxAddrs = tops[0].Count
+	}
+	if tops := ipc.V4.TopPrefixes(1); len(tops) > 0 {
+		r.V4MaxUsers = tops[0].Users
+	}
+	if tops := ipc.V6[128].TopPrefixes(1); len(tops) > 0 {
+		r.V6MaxUsers = tops[0].Users
+	}
+	if tops := ipc.V6[64].TopPrefixes(1); len(tops) > 0 {
+		r.V6Max64Users = tops[0].Users
+	}
+	return r
+}
+
+// Fig11Granularity identifies one ROC curve of Figure 11.
+type Fig11Granularity struct {
+	Name   string
+	Family netaddr.Family
+	Length int
+}
+
+// Fig11Granularities returns the four granularities the paper plots.
+func Fig11Granularities() []Fig11Granularity {
+	return []Fig11Granularity{
+		{Name: "/128", Family: netaddr.IPv6, Length: 128},
+		{Name: "/64", Family: netaddr.IPv6, Length: 64},
+		{Name: "/56", Family: netaddr.IPv6, Length: 56},
+		{Name: "IPv4", Family: netaddr.IPv4, Length: 32},
+	}
+}
+
+// Fig11Result maps granularity name to its ROC curve.
+type Fig11Result struct {
+	Curves map[string]*stats.ROC
+	// DayN and DayN1 are the evaluation days used.
+	DayN, DayN1 simtime.Day
+}
+
+// Fig11 runs the §7.1 actioning simulation: day n = Apr 18, day n+1 =
+// Apr 19, sweeping DefaultThresholds at each granularity.
+func (s *Sim) Fig11() Fig11Result {
+	_, to := AnalysisWeek()
+	dayN, dayN1 := to-1, to
+	acts := make([]*core.Actioning, 0, 4)
+	for _, g := range Fig11Granularities() {
+		acts = append(acts, core.NewActioning(g.Family, g.Length))
+	}
+	s.GenerateDay(dayN, func(o telemetry.Observation) {
+		for _, a := range acts {
+			a.ObserveDayN(o)
+		}
+	})
+	s.GenerateDay(dayN1, func(o telemetry.Observation) {
+		for _, a := range acts {
+			a.ObserveDayN1(o)
+		}
+	})
+	r := Fig11Result{Curves: make(map[string]*stats.ROC, 4), DayN: dayN, DayN1: dayN1}
+	for i, g := range Fig11Granularities() {
+		r.Curves[g.Name] = acts[i].Curve(core.DefaultThresholds())
+	}
+	return r
+}
+
+// Advise runs the full §7.2 policy advisor at the given FPR tolerance,
+// deriving every input from the simulation.
+func (s *Sim) Advise(fprTolerance float64) core.Advice {
+	roc := s.Fig11()
+	ipc := s.IPCentricWeek()
+	life := s.Fig5And6(false)
+
+	v6Users := make(map[int]*stats.IntHist, len(Fig9Lengths))
+	v6Abusive := make(map[int]*stats.IntHist, len(Fig9Lengths))
+	for l, ic := range ipc.V6 {
+		v6Users[l] = ic.UsersPerPrefix()
+		v6Abusive[l] = ic.AbusivePerAbusivePrefix()
+	}
+	freshV6 := 0.0
+	if life.AgeV6.N() > 0 {
+		freshV6 = life.AgeV6.CDFAt(0)
+	}
+	return core.Advise(core.AdvisorInputs{
+		ROC128:             roc.Curves["/128"],
+		ROC64:              roc.Curves["/64"],
+		ROCV4:              roc.Curves["IPv4"],
+		FPRTolerance:       fprTolerance,
+		UsersPerV6Addr:     ipc.V6[128].UsersPerPrefix(),
+		UsersPerV4Addr:     ipc.V4.UsersPerPrefix(),
+		UsersPerV6Prefix:   v6Users,
+		AbusivePerV6Prefix: v6Abusive,
+		AbusivePerV4Addr:   ipc.V4.AbusivePerAbusivePrefix(),
+		V6AddrFreshShare:   freshV6,
+	})
+}
+
+// ASNOf exposes routing attribution for downstream tools.
+func (s *Sim) ASNOf(a netaddr.Addr) netmodel.ASN { return s.World.ASNOf(a) }

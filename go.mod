@@ -1,0 +1,3 @@
+module userv6
+
+go 1.22

@@ -1,0 +1,212 @@
+package abuse
+
+import (
+	"testing"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/netmodel"
+	"userv6/internal/population"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+func scraperGen(t *testing.T) *ScraperGen {
+	t.Helper()
+	world := netmodel.BuildWorld(netmodel.WorldConfig{Seed: 3, Scale: 0.05})
+	cfg := DefaultScraperConfig()
+	cfg.Bots = 40
+	return NewScraperGen(world, cfg)
+}
+
+func TestScraperObservations(t *testing.T) {
+	g := scraperGen(t)
+	var v4, v6 int
+	ids := make(map[uint64]bool)
+	var reqs uint64
+	g.GenerateDay(10, func(o telemetry.Observation) {
+		if !o.Abusive {
+			t.Fatal("scraper observation not abusive")
+		}
+		if o.UserID < ScraperIDBase {
+			t.Fatal("scraper ID below base")
+		}
+		if !o.Addr.IsValid() {
+			t.Fatal("invalid address")
+		}
+		ids[o.UserID] = true
+		reqs += uint64(o.Requests)
+		if o.Addr.Is6() {
+			v6++
+		} else {
+			v4++
+		}
+	})
+	if len(ids) != g.Cfg.Bots {
+		t.Fatalf("bots emitted = %d, want %d", len(ids), g.Cfg.Bots)
+	}
+	if v4 == 0 || v6 == 0 {
+		t.Fatalf("protocol mix: v4=%d v6=%d", v4, v6)
+	}
+	// Scrapers are loud: far more requests per entity than users.
+	if reqs/uint64(len(ids)) < 100 {
+		t.Fatalf("requests per bot = %d", reqs/uint64(len(ids)))
+	}
+}
+
+func TestScraperV6HopsWithinHost64(t *testing.T) {
+	g := scraperGen(t)
+	per64 := make(map[uint64]map[netaddr.Prefix]map[netaddr.Addr]bool)
+	g.GenerateDay(20, func(o telemetry.Observation) {
+		if !o.Addr.Is6() {
+			return
+		}
+		if per64[o.UserID] == nil {
+			per64[o.UserID] = make(map[netaddr.Prefix]map[netaddr.Addr]bool)
+		}
+		p := netaddr.PrefixFrom(o.Addr, 64)
+		if per64[o.UserID][p] == nil {
+			per64[o.UserID][p] = make(map[netaddr.Addr]bool)
+		}
+		per64[o.UserID][p][o.Addr] = true
+	})
+	if len(per64) == 0 {
+		t.Fatal("no v6 scrapers")
+	}
+	hopping := 0
+	for _, prefixes := range per64 {
+		if len(prefixes) != 1 {
+			t.Fatalf("bot scraped from %d /64s in one day, want 1", len(prefixes))
+		}
+		for _, addrs := range prefixes {
+			if len(addrs) > 1 {
+				hopping++
+			}
+		}
+	}
+	if hopping == 0 {
+		t.Fatal("no bot hopped IIDs within its /64")
+	}
+}
+
+func TestScraperRotatesHostsOverTime(t *testing.T) {
+	g := scraperGen(t)
+	bot := ScraperIDBase
+	addrOn := func(d simtime.Day) netaddr.Prefix {
+		var p netaddr.Prefix
+		g.GenerateDay(d, func(o telemetry.Observation) {
+			if o.UserID == bot {
+				p = netaddr.PrefixFrom(o.Addr, 64)
+			}
+		})
+		return p
+	}
+	first := addrOn(0)
+	moved := false
+	for d := simtime.Day(1); d < 30; d++ {
+		if addrOn(d) != first {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("bot never rotated hosts in 30 days")
+	}
+}
+
+func TestHijackVictimsDeterministic(t *testing.T) {
+	world := netmodel.BuildWorld(netmodel.WorldConfig{Seed: 5, Scale: 0.05})
+	pcfg := population.DefaultConfig()
+	pcfg.Seed = 5
+	pcfg.Users = 8000
+	pop := population.Synthesize(world, pcfg)
+	g := NewHijackGen(world, pop, DefaultHijackConfig())
+
+	v1 := g.Victims()
+	v2 := g.Victims()
+	if len(v1) == 0 {
+		t.Fatal("no victims at 0.4% share of 8000 users")
+	}
+	if len(v1) != len(v2) {
+		t.Fatal("victims not deterministic")
+	}
+	share := float64(len(v1)) / float64(pcfg.Users)
+	if share < 0.001 || share > 0.01 {
+		t.Fatalf("victim share = %v", share)
+	}
+	for _, v := range v1 {
+		if v.Duration != g.Cfg.DurationDays {
+			t.Fatalf("victim duration = %d", v.Duration)
+		}
+		if !v.CompromisedOn(v.Start) || v.CompromisedOn(v.Start+simtime.Day(v.Duration)) {
+			t.Fatal("compromise window wrong")
+		}
+	}
+}
+
+func TestHijackEmitsUnderVictimID(t *testing.T) {
+	world := netmodel.BuildWorld(netmodel.WorldConfig{Seed: 5, Scale: 0.05})
+	pcfg := population.DefaultConfig()
+	pcfg.Seed = 5
+	pcfg.Users = 8000
+	pop := population.Synthesize(world, pcfg)
+	g := NewHijackGen(world, pop, DefaultHijackConfig())
+
+	victims := g.Victims()
+	victimSet := make(map[uint64]Victim, len(victims))
+	for _, v := range victims {
+		victimSet[v.UserID] = v
+	}
+	emitted := make(map[uint64]bool)
+	hostingASNs := make(map[netmodel.ASN]bool)
+	for _, n := range world.Hosting {
+		hostingASNs[n.ASN] = true
+	}
+	for d := simtime.Day(0); d < simtime.StudyDays; d++ {
+		g.GenerateDay(d, func(o telemetry.Observation) {
+			v, ok := victimSet[o.UserID]
+			if !ok {
+				t.Fatalf("hijack emission for non-victim %d", o.UserID)
+			}
+			if !v.CompromisedOn(o.Day) {
+				t.Fatalf("emission outside compromise window")
+			}
+			if !o.Abusive {
+				t.Fatal("hijack emission not abusive")
+			}
+			if !hostingASNs[o.ASN] {
+				t.Fatalf("hijack from non-hosting ASN %d", o.ASN)
+			}
+			emitted[o.UserID] = true
+		})
+	}
+	if len(emitted) != len(victims) {
+		t.Fatalf("emitted for %d victims of %d", len(emitted), len(victims))
+	}
+}
+
+func TestHijackAddressStableWithinCompromise(t *testing.T) {
+	world := netmodel.BuildWorld(netmodel.WorldConfig{Seed: 5, Scale: 0.05})
+	pcfg := population.DefaultConfig()
+	pcfg.Seed = 5
+	pcfg.Users = 8000
+	pop := population.Synthesize(world, pcfg)
+	cfg := DefaultHijackConfig()
+	cfg.DurationDays = 4
+	g := NewHijackGen(world, pop, cfg)
+	victims := g.Victims()
+	if len(victims) == 0 {
+		t.Skip("no victims")
+	}
+	v := victims[0]
+	per64 := make(map[netaddr.Prefix]bool)
+	for d := v.Start; d < v.Start+simtime.Day(v.Duration); d++ {
+		g.GenerateDay(d, func(o telemetry.Observation) {
+			if o.UserID == v.UserID && o.Addr.Is6() {
+				per64[netaddr.PrefixFrom(o.Addr, 64)] = true
+			}
+		})
+	}
+	if len(per64) > 1 {
+		t.Fatalf("hijacker moved across %d /64s within one compromise", len(per64))
+	}
+}

@@ -1,0 +1,131 @@
+package abuse
+
+import (
+	"userv6/internal/netmodel"
+	"userv6/internal/population"
+	"userv6/internal/rng"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+// The paper's §8 also names account hijacking as an unexplored attacker
+// class. HijackGen models it: a small fraction of *benign* accounts are
+// compromised for a few days, during which attacker activity is emitted
+// from attacker infrastructure under the victim's user ID — alongside
+// the victim's own continuing legitimate activity. The signature that
+// makes hijacks detectable at the IP level is exactly this mixture: an
+// established account's address set suddenly gains hosting-network
+// addresses far from its history.
+
+// HijackConfig tunes the hijacking model.
+type HijackConfig struct {
+	Seed uint64
+	// VictimShare is the fraction of benign users compromised at some
+	// point in the study window.
+	VictimShare float64
+	// DurationDays is how long a compromise lasts before recovery.
+	DurationDays int
+	// RequestsMean is the attacker's request volume per hijacked
+	// account-day.
+	RequestsMean float64
+}
+
+// DefaultHijackConfig returns the default hijacking parameters.
+func DefaultHijackConfig() HijackConfig {
+	return HijackConfig{
+		Seed:         1,
+		VictimShare:  0.004,
+		DurationDays: 3,
+		RequestsMean: 25,
+	}
+}
+
+// HijackGen emits attacker-side telemetry for compromised accounts. The
+// victims' own benign telemetry continues to come from the benign
+// generator; a consumer joining on user ID sees the mixture.
+type HijackGen struct {
+	World *netmodel.World
+	Pop   *population.Population
+	Cfg   HijackConfig
+	seed  uint64
+}
+
+// NewHijackGen builds a hijack generator over a synthesized population.
+func NewHijackGen(w *netmodel.World, pop *population.Population, cfg HijackConfig) *HijackGen {
+	return &HijackGen{World: w, Pop: pop, Cfg: cfg, seed: rng.Derive(cfg.Seed, "hijack")}
+}
+
+// Victim describes one compromised account.
+type Victim struct {
+	UserID uint64
+	// Start is the first compromised day; Duration the number of days.
+	Start    simtime.Day
+	Duration int
+}
+
+// CompromisedOn reports whether the victim is compromised on day d.
+func (v Victim) CompromisedOn(d simtime.Day) bool {
+	return d >= v.Start && int(d-v.Start) < v.Duration
+}
+
+// VictimOf returns the victim record for a user, or false if the user is
+// never compromised. Deterministic per (seed, user).
+func (g *HijackGen) VictimOf(uid uint64) (Victim, bool) {
+	h := rng.DeriveN(g.seed, uid)
+	if float64(h%(1<<20))/(1<<20) >= g.Cfg.VictimShare {
+		return Victim{}, false
+	}
+	start := simtime.Day(rng.DeriveN(h, 1) % uint64(simtime.StudyDays))
+	return Victim{UserID: uid, Start: start, Duration: max(1, g.Cfg.DurationDays)}, true
+}
+
+// Victims returns all victims in the population, for evaluation.
+func (g *HijackGen) Victims() []Victim {
+	var out []Victim
+	for i := range g.Pop.Users {
+		if v, ok := g.VictimOf(g.Pop.Users[i].ID); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GenerateDay emits the attacker-side observations of all accounts
+// compromised on day d. Observations carry Abusive = true under the
+// victim's own user ID.
+func (g *HijackGen) GenerateDay(d simtime.Day, emit telemetry.EmitFunc) {
+	for i := range g.Pop.Users {
+		uid := g.Pop.Users[i].ID
+		v, ok := g.VictimOf(uid)
+		if !ok || !v.CompromisedOn(d) {
+			continue
+		}
+		src := rng.New(rng.DeriveN(rng.DeriveN(g.seed, uid+0x41), uint64(d)))
+		// The attacker works the account from a rented host, keeping
+		// one address for the whole compromise.
+		hostID := rng.DeriveN(g.seed, uid+0x42)
+		net := g.World.Hosting[int(hostID%uint64(len(g.World.Hosting)))]
+		reqs := 1 + src.Poisson(g.Cfg.RequestsMean)
+		addr := net.HostAddrWithIID(hostID, rng.DeriveN(hostID, uid))
+		if src.Bool(0.25) {
+			addr = net.V4AddrAt(hostID, d, 0)
+		}
+		o := telemetry.Observation{
+			Day:      d,
+			UserID:   uid,
+			Addr:     addr,
+			ASN:      net.ASN,
+			Requests: uint32(reqs),
+			Abusive:  true,
+		}
+		o.SetCountry(g.Pop.Users[i].Country)
+		emit(o)
+	}
+}
+
+// Generate emits days [from, to] inclusive.
+func (g *HijackGen) Generate(from, to simtime.Day, emit telemetry.EmitFunc) {
+	for d := from; d <= to; d++ {
+		g.GenerateDay(d, emit)
+	}
+}

@@ -1,0 +1,124 @@
+package abuse
+
+import (
+	"userv6/internal/netaddr"
+	"userv6/internal/netmodel"
+	"userv6/internal/rng"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+// The paper's §8 names "attacks that don't require accounts (e.g.,
+// public data scraping)" as the attacker class IP-based defenses matter
+// most for — a scraper has no account to ban, so the source address is
+// the only handle. ScraperGen models logged-out scraping fleets: bots on
+// hosting and proxy infrastructure issuing large request volumes with no
+// user identity.
+
+// ScraperIDBase marks scraper observations: they carry synthetic entity
+// IDs in a dedicated range (a real platform would see no user ID at all;
+// the ID here identifies the bot for evaluation purposes only).
+const ScraperIDBase uint64 = 1 << 52
+
+// ScraperConfig tunes the scraping model.
+type ScraperConfig struct {
+	Seed uint64
+	// Bots is the fleet size; BotLifetimeDays how long a bot keeps one
+	// identity/address before rotating.
+	Bots            int
+	BotLifetimeDays int
+	// RequestsMean is the mean requests per bot-day — scrapers are loud.
+	RequestsMean float64
+	// V6Share is the fraction of bots scraping over IPv6 (hosting /64s
+	// with hopping IIDs); the rest use static hosting IPv4.
+	V6Share float64
+	// SessionsMean is the mean address rotations per bot-day on IPv6.
+	SessionsMean float64
+}
+
+// DefaultScraperConfig returns defaults scaled for a 200k-user world.
+func DefaultScraperConfig() ScraperConfig {
+	return ScraperConfig{
+		Seed:            1,
+		Bots:            220,
+		BotLifetimeDays: 6,
+		RequestsMean:    6000,
+		V6Share:         0.45,
+		SessionsMean:    25,
+	}
+}
+
+// ScraperGen emits scraper telemetry over hosting infrastructure.
+type ScraperGen struct {
+	World *netmodel.World
+	Cfg   ScraperConfig
+	seed  uint64
+}
+
+// NewScraperGen builds a scraper generator over the given world.
+func NewScraperGen(w *netmodel.World, cfg ScraperConfig) *ScraperGen {
+	return &ScraperGen{World: w, Cfg: cfg, seed: rng.Derive(cfg.Seed, "scrapers")}
+}
+
+// GenerateDay emits one day of scraper observations. Observations carry
+// Abusive = true and IDs in the scraper range.
+func (g *ScraperGen) GenerateDay(d simtime.Day, emit telemetry.EmitFunc) {
+	for b := 0; b < g.Cfg.Bots; b++ {
+		g.botDay(uint64(b), d, emit)
+	}
+}
+
+// Generate emits days [from, to] inclusive.
+func (g *ScraperGen) Generate(from, to simtime.Day, emit telemetry.EmitFunc) {
+	for d := from; d <= to; d++ {
+		g.GenerateDay(d, emit)
+	}
+}
+
+func (g *ScraperGen) botDay(bot uint64, d simtime.Day, emit telemetry.EmitFunc) {
+	src := rng.New(rng.DeriveN(rng.DeriveN(g.seed, bot), uint64(d)))
+	// Bot identity rotates every BotLifetimeDays (new rented host).
+	life := uint64(max(1, g.Cfg.BotLifetimeDays))
+	epoch := (uint64(d) + rng.DeriveN(g.seed, bot+0xb07)%life) / life
+	hostID := rng.DeriveN(rng.DeriveN(g.seed, bot+1), epoch)
+	net := g.World.Hosting[int(hostID%uint64(len(g.World.Hosting)))]
+
+	reqs := 1 + src.Poisson(g.Cfg.RequestsMean)
+	v6 := float64(rng.DeriveN(g.seed, bot+2)%1000)/1000 < g.Cfg.V6Share
+
+	id := ScraperIDBase + bot
+	if !v6 {
+		o := scraperObs(id, d, net.V4AddrAt(hostID, d, 0), net.ASN, reqs)
+		emit(o)
+		return
+	}
+	// IPv6 scraping: rotate IIDs within the host /64 across sessions to
+	// dodge per-address limits — which is exactly why the paper points
+	// rate limiting at /64 granularity.
+	sessions := 1 + src.Poisson(g.Cfg.SessionsMean)
+	per := reqs / sessions
+	for s := 0; s < sessions; s++ {
+		iid := rng.DeriveN(rng.DeriveN(hostID, uint64(d)), uint64(s)+0x5c)
+		n := per
+		if s == 0 {
+			n = reqs - per*(sessions-1)
+		}
+		if n <= 0 {
+			n = 1
+		}
+		emit(scraperObs(id, d, net.HostAddrWithIID(hostID, iid), net.ASN, n))
+	}
+}
+
+func scraperObs(id uint64, d simtime.Day, addr netaddr.Addr, asn netmodel.ASN, reqs int) telemetry.Observation {
+	o := telemetry.Observation{
+		Day:      d,
+		UserID:   id,
+		Addr:     addr,
+		ASN:      asn,
+		Requests: uint32(reqs),
+		Abusive:  true,
+	}
+	o.SetCountry("ZZ")
+	return o
+}

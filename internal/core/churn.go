@@ -1,0 +1,130 @@
+package core
+
+import (
+	"userv6/internal/netaddr"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+// ChurnCause classifies why a user appeared on a new IPv6 address — the
+// paper's §8 calls for exactly this ("investigating the causes of
+// dynamic IPv6 behavior, similar to the exploration of IPv4 dynamic
+// address reasons by Padmanabhan et al."). The attribution uses only
+// telemetry (no world-model internals), so it would run unchanged on
+// real data:
+//
+//   - IIDRotation: new address inside a /64 the user already occupied —
+//     privacy-extension / temporary-address rotation;
+//   - SubnetMove: new /64 but inside a /44 the user already occupied —
+//     delegated-prefix re-draw or mobile gateway move within a carrier
+//     region;
+//   - NetworkSwitch: new /44 as well — roaming to a different network
+//     (or a provider-level renumbering).
+type ChurnCause uint8
+
+const (
+	// IIDRotation is a new IID within a known /64.
+	IIDRotation ChurnCause = iota
+	// SubnetMove is a new /64 within a known /44.
+	SubnetMove
+	// NetworkSwitch is an entirely new region of the address space.
+	NetworkSwitch
+)
+
+// String labels the cause.
+func (c ChurnCause) String() string {
+	switch c {
+	case IIDRotation:
+		return "iid-rotation"
+	case SubnetMove:
+		return "subnet-move"
+	default:
+		return "network-switch"
+	}
+}
+
+// ChurnAttribution tallies new (user, IPv6 address) pairs by cause.
+// Feed observations in non-decreasing day order.
+type ChurnAttribution struct {
+	// Warmup days at the start of the stream establish per-user state
+	// without being counted (a pair is only "new" against history).
+	CountFrom simtime.Day
+
+	seenAddr map[pairKey]struct{}
+	seen64   map[pairKey]struct{}
+	seen44   map[pairKey]struct{}
+	counts   [3]uint64
+}
+
+// NewChurnAttribution counts new pairs from countFrom onward; earlier
+// days only build history.
+func NewChurnAttribution(countFrom simtime.Day) *ChurnAttribution {
+	return &ChurnAttribution{
+		CountFrom: countFrom,
+		seenAddr:  make(map[pairKey]struct{}),
+		seen64:    make(map[pairKey]struct{}),
+		seen44:    make(map[pairKey]struct{}),
+	}
+}
+
+// Observe feeds one observation (IPv6 only; others are ignored).
+func (c *ChurnAttribution) Observe(o telemetry.Observation) {
+	if !o.Addr.Is6() {
+		return
+	}
+	addrKey := pairKey{uid: o.UserID, pfx: netaddr.PrefixFrom(o.Addr, 128)}
+	if _, dup := c.seenAddr[addrKey]; dup {
+		return
+	}
+	key64 := pairKey{uid: o.UserID, pfx: netaddr.PrefixFrom(o.Addr, 64)}
+	key44 := pairKey{uid: o.UserID, pfx: netaddr.PrefixFrom(o.Addr, 44)}
+	_, had64 := c.seen64[key64]
+	_, had44 := c.seen44[key44]
+
+	c.seenAddr[addrKey] = struct{}{}
+	c.seen64[key64] = struct{}{}
+	c.seen44[key44] = struct{}{}
+
+	if o.Day < c.CountFrom {
+		return
+	}
+	switch {
+	case had64:
+		c.counts[IIDRotation]++
+	case had44:
+		c.counts[SubnetMove]++
+	default:
+		c.counts[NetworkSwitch]++
+	}
+}
+
+// ChurnBreakdown is the attribution result.
+type ChurnBreakdown struct {
+	IIDRotation, SubnetMove, NetworkSwitch uint64
+	Total                                  uint64
+}
+
+// Share returns the cause's fraction of all attributed churn.
+func (b ChurnBreakdown) Share(cause ChurnCause) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	switch cause {
+	case IIDRotation:
+		return float64(b.IIDRotation) / float64(b.Total)
+	case SubnetMove:
+		return float64(b.SubnetMove) / float64(b.Total)
+	default:
+		return float64(b.NetworkSwitch) / float64(b.Total)
+	}
+}
+
+// Breakdown returns the tallies.
+func (c *ChurnAttribution) Breakdown() ChurnBreakdown {
+	return ChurnBreakdown{
+		IIDRotation:   c.counts[IIDRotation],
+		SubnetMove:    c.counts[SubnetMove],
+		NetworkSwitch: c.counts[NetworkSwitch],
+		Total:         c.counts[0] + c.counts[1] + c.counts[2],
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChurnAttributionCauses(t *testing.T) {
+	c := NewChurnAttribution(5)
+	// History (before CountFrom): user 1 on one address.
+	c.Observe(obs(1, "2001:db8:0:1::a", 0, false))
+
+	// New IID in the known /64: rotation.
+	c.Observe(obs(1, "2001:db8:0:1::b", 5, false))
+	// New /64 in the known /44 (2001:db8::/44 covers both): subnet move.
+	c.Observe(obs(1, "2001:db8:0:2::a", 6, false))
+	// Entirely new /44: network switch.
+	c.Observe(obs(1, "2a00:1450:4001::1", 7, false))
+
+	b := c.Breakdown()
+	if b.Total != 3 {
+		t.Fatalf("total = %d", b.Total)
+	}
+	if b.IIDRotation != 1 || b.SubnetMove != 1 || b.NetworkSwitch != 1 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if math.Abs(b.Share(IIDRotation)-1.0/3) > 1e-12 {
+		t.Fatalf("share = %v", b.Share(IIDRotation))
+	}
+}
+
+func TestChurnWarmupNotCounted(t *testing.T) {
+	c := NewChurnAttribution(10)
+	c.Observe(obs(1, "2001:db8::1", 0, false))
+	c.Observe(obs(1, "2001:db8::2", 3, false))
+	if b := c.Breakdown(); b.Total != 0 {
+		t.Fatalf("warmup counted: %+v", b)
+	}
+	// But warmup built history: a rotation after CountFrom attributes
+	// against it.
+	c.Observe(obs(1, "2001:db8::3", 10, false))
+	b := c.Breakdown()
+	if b.Total != 1 || b.IIDRotation != 1 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+func TestChurnDedupAndV4Ignored(t *testing.T) {
+	c := NewChurnAttribution(0)
+	c.Observe(obs(1, "10.0.0.1", 0, false))
+	if c.Breakdown().Total != 0 {
+		t.Fatal("v4 counted")
+	}
+	c.Observe(obs(1, "2001:db8::1", 0, false))
+	c.Observe(obs(1, "2001:db8::1", 1, false))
+	c.Observe(obs(1, "2001:db8::1", 2, false))
+	if b := c.Breakdown(); b.Total != 1 {
+		t.Fatalf("repeat sightings counted: %+v", b)
+	}
+}
+
+func TestChurnFirstSightingIsNetworkSwitch(t *testing.T) {
+	c := NewChurnAttribution(0)
+	c.Observe(obs(7, "2001:db8::1", 0, false))
+	b := c.Breakdown()
+	if b.NetworkSwitch != 1 {
+		t.Fatalf("first sighting = %+v", b)
+	}
+}
+
+func TestChurnCauseStrings(t *testing.T) {
+	if IIDRotation.String() != "iid-rotation" || SubnetMove.String() != "subnet-move" ||
+		NetworkSwitch.String() != "network-switch" {
+		t.Fatal("labels wrong")
+	}
+}

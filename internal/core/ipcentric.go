@@ -1,0 +1,234 @@
+package core
+
+import (
+	"sort"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/netmodel"
+	"userv6/internal/stats"
+	"userv6/internal/telemetry"
+)
+
+// IPCentric accumulates the user populations of addresses or prefixes at
+// one prefix length over its feeding window: the engine behind Figures
+// 7-10 and the §6 outlier analyses. Use length 32 for IPv4 addresses,
+// 128 for IPv6 addresses, or any IPv6 prefix length.
+type IPCentric struct {
+	// Length is the aggregation prefix length; Family selects which
+	// observations are counted.
+	Length int
+	Family netaddr.Family
+
+	// seen maps each (user, prefix) pair to whether the entity is
+	// abusive — kept as a value (not struct{}) so shards can be merged.
+	seen     map[pairKey]bool
+	prefixes map[netaddr.Prefix]*prefixPop
+}
+
+// prefixPop is one prefix's population tally.
+type prefixPop struct {
+	benign, abusive uint32
+}
+
+// NewIPCentric returns an analyzer for one family and prefix length.
+func NewIPCentric(fam netaddr.Family, length int) *IPCentric {
+	return &IPCentric{
+		Length:   length,
+		Family:   fam,
+		seen:     make(map[pairKey]bool),
+		prefixes: make(map[netaddr.Prefix]*prefixPop),
+	}
+}
+
+// Observe feeds one observation.
+func (ic *IPCentric) Observe(o telemetry.Observation) {
+	if o.Addr.Family() != ic.Family || ic.Length > o.Addr.Bits() {
+		return
+	}
+	p := netaddr.PrefixFrom(o.Addr, ic.Length)
+	key := pairKey{uid: o.UserID, pfx: p}
+	if _, dup := ic.seen[key]; dup {
+		return
+	}
+	ic.seen[key] = o.Abusive
+	pop := ic.prefixes[p]
+	if pop == nil {
+		pop = &prefixPop{}
+		ic.prefixes[p] = pop
+	}
+	if o.Abusive {
+		pop.abusive++
+	} else {
+		pop.benign++
+	}
+}
+
+// Prefixes returns the number of distinct prefixes observed.
+func (ic *IPCentric) Prefixes() int { return len(ic.prefixes) }
+
+// Merge folds another analyzer's state into ic, deduplicating (user,
+// prefix) pairs. Both must use the same family and length. Merge enables
+// sharded parallel analysis.
+func (ic *IPCentric) Merge(other *IPCentric) {
+	for key, abusive := range other.seen {
+		if _, dup := ic.seen[key]; dup {
+			continue
+		}
+		ic.seen[key] = abusive
+		pop := ic.prefixes[key.pfx]
+		if pop == nil {
+			pop = &prefixPop{}
+			ic.prefixes[key.pfx] = pop
+		}
+		if abusive {
+			pop.abusive++
+		} else {
+			pop.benign++
+		}
+	}
+}
+
+// UsersPerPrefix returns the histogram of total users (benign + abusive)
+// per prefix (Figures 7 and 9).
+func (ic *IPCentric) UsersPerPrefix() *stats.IntHist {
+	h := stats.NewIntHist(256)
+	for _, pop := range ic.prefixes {
+		h.Add(int(pop.benign + pop.abusive))
+	}
+	return h
+}
+
+// BenignPerPrefix returns the histogram of benign users per prefix.
+func (ic *IPCentric) BenignPerPrefix() *stats.IntHist {
+	h := stats.NewIntHist(256)
+	for _, pop := range ic.prefixes {
+		h.Add(int(pop.benign))
+	}
+	return h
+}
+
+// AbusivePerAbusivePrefix returns the histogram of abusive accounts per
+// prefix, over prefixes with at least one abusive account (Figures 8 and
+// 10a).
+func (ic *IPCentric) AbusivePerAbusivePrefix() *stats.IntHist {
+	h := stats.NewIntHist(64)
+	for _, pop := range ic.prefixes {
+		if pop.abusive > 0 {
+			h.Add(int(pop.abusive))
+		}
+	}
+	return h
+}
+
+// BenignPerAbusivePrefix returns the histogram of benign users per
+// prefix, over prefixes with at least one abusive account (Figures 8 and
+// 10b).
+func (ic *IPCentric) BenignPerAbusivePrefix() *stats.IntHist {
+	h := stats.NewIntHist(256)
+	for _, pop := range ic.prefixes {
+		if pop.abusive > 0 {
+			h.Add(int(pop.benign))
+		}
+	}
+	return h
+}
+
+// PrefixesWithMoreThan counts prefixes whose total user population
+// strictly exceeds n.
+func (ic *IPCentric) PrefixesWithMoreThan(n int) int {
+	count := 0
+	for _, pop := range ic.prefixes {
+		if int(pop.benign+pop.abusive) > n {
+			count++
+		}
+	}
+	return count
+}
+
+// AbusivePrefixesWithMoreThan counts prefixes whose abusive population
+// strictly exceeds n.
+func (ic *IPCentric) AbusivePrefixesWithMoreThan(n int) int {
+	count := 0
+	for _, pop := range ic.prefixes {
+		if int(pop.abusive) > n {
+			count++
+		}
+	}
+	return count
+}
+
+// HeavyPrefix is a prefix ranked by its user population.
+type HeavyPrefix struct {
+	Prefix         netaddr.Prefix
+	Users, Abusive int
+}
+
+// TopPrefixes returns the k most user-populated prefixes, descending.
+func (ic *IPCentric) TopPrefixes(k int) []HeavyPrefix {
+	tops := make([]HeavyPrefix, 0, len(ic.prefixes))
+	for p, pop := range ic.prefixes {
+		tops = append(tops, HeavyPrefix{Prefix: p, Users: int(pop.benign + pop.abusive), Abusive: int(pop.abusive)})
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		if tops[i].Users != tops[j].Users {
+			return tops[i].Users > tops[j].Users
+		}
+		return tops[i].Prefix.Addr().Less(tops[j].Prefix.Addr())
+	})
+	if k < len(tops) {
+		tops = tops[:k]
+	}
+	return tops
+}
+
+// HeavyConcentration summarizes where heavily populated prefixes live:
+// which ASNs own them and how many carry structured (gateway-style)
+// interface identifiers — the basis for the paper's finding that heavy
+// IPv6 addresses are predictable (§6.1.3).
+type HeavyConcentration struct {
+	// Heavy is the number of prefixes above the threshold.
+	Heavy int
+	// TopASN and TopASNShare identify the dominant owner.
+	TopASN      netmodel.ASN
+	TopASNShare float64
+	// ASNs is the number of distinct owning ASNs.
+	ASNs int
+	// StructuredShare is the fraction of heavy prefixes whose base
+	// address has a structured IID (only meaningful at length 128).
+	StructuredShare float64
+}
+
+// ConcentrationAbove computes the heavy-prefix concentration for
+// prefixes with more than n users, attributing ownership via asnOf.
+func (ic *IPCentric) ConcentrationAbove(n int, asnOf func(netaddr.Addr) netmodel.ASN) HeavyConcentration {
+	var hc HeavyConcentration
+	perASN := make(map[netmodel.ASN]int)
+	structured := 0
+	for p, pop := range ic.prefixes {
+		if int(pop.benign+pop.abusive) <= n {
+			continue
+		}
+		hc.Heavy++
+		if asnOf != nil {
+			perASN[asnOf(p.Addr())]++
+		}
+		if netaddr.IsStructuredIID(p.Addr()) {
+			structured++
+		}
+	}
+	hc.ASNs = len(perASN)
+	best := 0
+	for asn, c := range perASN {
+		if c > best || (c == best && asn < hc.TopASN) {
+			best = c
+			hc.TopASN = asn
+		}
+	}
+	if hc.Heavy > 0 && best > 0 {
+		hc.TopASNShare = float64(best) / float64(hc.Heavy)
+	}
+	if hc.Heavy > 0 {
+		hc.StructuredShare = float64(structured) / float64(hc.Heavy)
+	}
+	return hc
+}

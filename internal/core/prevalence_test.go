@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/netmodel"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+func pobs(uid uint64, addr string, day simtime.Day, asn netmodel.ASN, cc string, reqs uint32) telemetry.Observation {
+	o := telemetry.Observation{
+		Day:      day,
+		UserID:   uid,
+		Addr:     netaddr.MustParseAddr(addr),
+		ASN:      asn,
+		Requests: reqs,
+	}
+	o.SetCountry(cc)
+	return o
+}
+
+func TestPrevalenceDaily(t *testing.T) {
+	p := NewPrevalence()
+	// Day 0: user 1 dual-stack (3 v6 + 1 v4 requests), user 2 v4-only.
+	p.Observe(pobs(1, "2001:db8::1", 0, 10, "US", 3))
+	p.Observe(pobs(1, "10.0.0.1", 0, 10, "US", 1))
+	p.Observe(pobs(2, "10.0.0.2", 0, 11, "BR", 4))
+	// Day 1: only user 2, v4.
+	p.Observe(pobs(2, "10.0.0.2", 1, 11, "BR", 2))
+
+	days := p.Daily()
+	if len(days) != 2 {
+		t.Fatalf("days = %d", len(days))
+	}
+	d0 := days[0]
+	if d0.Day != 0 || d0.Users != 2 || d0.V6Users != 1 {
+		t.Fatalf("day0 = %+v", d0)
+	}
+	if math.Abs(d0.UserShare-0.5) > 1e-12 {
+		t.Fatalf("day0 user share = %v", d0.UserShare)
+	}
+	if d0.Requests != 8 || d0.V6Requests != 3 {
+		t.Fatalf("day0 requests = %d/%d", d0.V6Requests, d0.Requests)
+	}
+	if math.Abs(d0.ReqShare-3.0/8) > 1e-12 {
+		t.Fatalf("day0 req share = %v", d0.ReqShare)
+	}
+	d1 := days[1]
+	if d1.Users != 1 || d1.V6Users != 0 || d1.UserShare != 0 {
+		t.Fatalf("day1 = %+v", d1)
+	}
+}
+
+func TestPrevalenceASNTable(t *testing.T) {
+	p := NewPrevalence()
+	// ASN 10: 3 users, 2 on v6. ASN 11: 2 users, none on v6.
+	p.Observe(pobs(1, "2001:db8::1", 0, 10, "US", 1))
+	p.Observe(pobs(2, "2001:db8::2", 0, 10, "US", 1))
+	p.Observe(pobs(3, "10.0.0.1", 0, 10, "US", 1))
+	p.Observe(pobs(4, "10.0.0.2", 0, 11, "BR", 1))
+	p.Observe(pobs(5, "10.0.0.3", 0, 11, "BR", 1))
+	// Duplicate sightings must not inflate.
+	p.Observe(pobs(1, "2001:db8::1", 1, 10, "US", 1))
+
+	rows := p.TopASNs(1, 10, func(a netmodel.ASN) string { return "n" })
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].ASN != 10 || math.Abs(rows[0].Ratio-2.0/3) > 1e-12 || rows[0].Users != 3 {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[1].ASN != 11 || rows[1].Ratio != 0 {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+	if rows[0].Name != "n" {
+		t.Fatalf("resolve not applied")
+	}
+	// Threshold excludes small ASNs.
+	if rows := p.TopASNs(3, 10, nil); len(rows) != 1 {
+		t.Fatalf("thresholded rows = %d", len(rows))
+	}
+}
+
+func TestASNShareBands(t *testing.T) {
+	p := NewPrevalence()
+	// ASN 1: zero v6 (2 users). ASN 2: 1/20 users on v6 (5%). ASN 3:
+	// 3/4 on v6.
+	p.Observe(pobs(1, "10.0.0.1", 0, 1, "US", 1))
+	p.Observe(pobs(2, "10.0.0.2", 0, 1, "US", 1))
+	for u := uint64(10); u < 30; u++ {
+		addr := "10.1.0.1"
+		if u == 10 {
+			addr = "2001:db8::10"
+		}
+		p.Observe(pobs(u, addr, 0, 2, "US", 1))
+	}
+	for u := uint64(40); u < 44; u++ {
+		addr := "2001:db8::40"
+		if u == 40 {
+			addr = "10.2.0.1"
+		}
+		p.Observe(pobs(u, addr, 0, 3, "US", 1))
+	}
+	zero, under, total := p.ASNShareBands(1)
+	if total != 3 {
+		t.Fatalf("total = %d", total)
+	}
+	if math.Abs(zero-1.0/3) > 1e-12 {
+		t.Fatalf("zero = %v", zero)
+	}
+	if math.Abs(under-1.0/3) > 1e-12 {
+		t.Fatalf("under = %v", under)
+	}
+}
+
+func TestCountryTable(t *testing.T) {
+	p := NewPrevalence()
+	p.Observe(pobs(1, "2001:db8::1", 0, 1, "IN", 1))
+	p.Observe(pobs(2, "10.0.0.1", 0, 1, "IN", 1))
+	p.Observe(pobs(3, "10.0.0.2", 0, 2, "EG", 1))
+	rows := p.TopCountries(1, 10)
+	if len(rows) != 2 || rows[0].Country != "IN" || rows[0].Ratio != 0.5 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	ratio, users := p.CountryRatio("IN")
+	if ratio != 0.5 || users != 2 {
+		t.Fatalf("IN ratio = %v users = %d", ratio, users)
+	}
+	if r, u := p.CountryRatio("XX"); r != 0 || u != 0 {
+		t.Fatalf("unknown country = %v/%d", r, u)
+	}
+}
+
+func TestPrevalenceUserCountedOncePerASN(t *testing.T) {
+	p := NewPrevalence()
+	// Same user on the same ASN over v4 first, then v6: the ASN's v6
+	// user count must become 1, total users stay 1.
+	p.Observe(pobs(1, "10.0.0.1", 0, 10, "US", 1))
+	p.Observe(pobs(1, "2001:db8::1", 0, 10, "US", 1))
+	rows := p.TopASNs(1, 10, nil)
+	if len(rows) != 1 || rows[0].Users != 1 || rows[0].Ratio != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"userv6/internal/netmodel"
+	"userv6/internal/telemetry"
+)
+
+func segObs(uid uint64, addr string, asn netmodel.ASN, reqs uint32) telemetry.Observation {
+	o := obs(uid, addr, 0, false)
+	o.ASN = asn
+	o.Requests = reqs
+	return o
+}
+
+func TestSegmentationBasic(t *testing.T) {
+	kinds := map[netmodel.ASN]netmodel.Kind{
+		10: netmodel.Mobile,
+		20: netmodel.Residential,
+	}
+	seg := NewSegmentation(ClassifyByASN(kinds))
+	// Mobile: user 1 dual stack (2 v6 addrs), user 2 v4-only.
+	seg.Observe(segObs(1, "2001:db8::1", 10, 5))
+	seg.Observe(segObs(1, "2001:db8::2", 10, 5))
+	seg.Observe(segObs(1, "10.0.0.1", 10, 10))
+	seg.Observe(segObs(2, "10.0.0.2", 10, 10))
+	// Residential: user 3 v6.
+	seg.Observe(segObs(3, "2001:db8:1::1", 20, 4))
+	// Unknown ASN dropped.
+	seg.Observe(segObs(4, "10.9.9.9", 99, 1))
+
+	reports := seg.Report()
+	if len(reports) != 2 {
+		t.Fatalf("segments = %d", len(reports))
+	}
+	mob, ok := seg.Segment(netmodel.Mobile)
+	if !ok {
+		t.Fatal("mobile segment missing")
+	}
+	if mob.Users != 2 {
+		t.Fatalf("mobile users = %d", mob.Users)
+	}
+	if math.Abs(mob.V6UserShare-0.5) > 1e-12 {
+		t.Fatalf("mobile v6 user share = %v", mob.V6UserShare)
+	}
+	if math.Abs(mob.V6ReqShare-10.0/30) > 1e-12 {
+		t.Fatalf("mobile v6 req share = %v", mob.V6ReqShare)
+	}
+	if mob.MedianV6Addrs != 2 || mob.MedianV4Addrs != 1 {
+		t.Fatalf("mobile medians = %d/%d", mob.MedianV6Addrs, mob.MedianV4Addrs)
+	}
+	res, _ := seg.Segment(netmodel.Residential)
+	if res.Users != 1 || res.V6UserShare != 1 {
+		t.Fatalf("residential = %+v", res)
+	}
+	if _, ok := seg.Segment(netmodel.Hosting); ok {
+		t.Fatal("phantom segment")
+	}
+}
+
+func TestSegmentationDedup(t *testing.T) {
+	kinds := map[netmodel.ASN]netmodel.Kind{10: netmodel.Mobile}
+	seg := NewSegmentation(ClassifyByASN(kinds))
+	for i := 0; i < 5; i++ {
+		seg.Observe(segObs(1, "2001:db8::1", 10, 1))
+	}
+	mob, _ := seg.Segment(netmodel.Mobile)
+	if mob.MedianV6Addrs != 1 {
+		t.Fatalf("median v6 addrs = %d (dedup failed)", mob.MedianV6Addrs)
+	}
+	// Requests still accumulate per observation.
+	if math.Abs(mob.V6ReqShare-1) > 1e-12 {
+		t.Fatalf("req share = %v", mob.V6ReqShare)
+	}
+}
+
+func TestSegmentationInvalidAddr(t *testing.T) {
+	seg := NewSegmentation(func(telemetry.Observation) (netmodel.Kind, bool) { return netmodel.Mobile, true })
+	seg.Observe(telemetry.Observation{UserID: 1, Requests: 1})
+	if len(seg.Report()) != 0 {
+		t.Fatal("invalid address created a segment")
+	}
+}

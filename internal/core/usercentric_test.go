@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+func obs(uid uint64, addr string, day simtime.Day, abusive bool) telemetry.Observation {
+	o := telemetry.Observation{
+		Day:      day,
+		UserID:   uid,
+		Addr:     netaddr.MustParseAddr(addr),
+		Requests: 1,
+		Abusive:  abusive,
+	}
+	o.SetCountry("US")
+	return o
+}
+
+func TestUserCentricDedup(t *testing.T) {
+	uc := NewUserCentric()
+	for i := 0; i < 5; i++ {
+		uc.Observe(obs(1, "2001:db8::1", simtime.Day(i), false))
+	}
+	uc.Observe(obs(1, "2001:db8::2", 0, false))
+	uc.Observe(obs(1, "10.0.0.1", 0, false))
+	if uc.Users() != 1 {
+		t.Fatalf("Users = %d", uc.Users())
+	}
+	h6 := uc.AddrsPerUser(netaddr.IPv6)
+	if h6.N() != 1 || h6.Max() != 2 {
+		t.Fatalf("v6 hist N=%d max=%d", h6.N(), h6.Max())
+	}
+	h4 := uc.AddrsPerUser(netaddr.IPv4)
+	if h4.N() != 1 || h4.Max() != 1 {
+		t.Fatalf("v4 hist N=%d max=%d", h4.N(), h4.Max())
+	}
+}
+
+func TestUserCentricFamilyPopulations(t *testing.T) {
+	uc := NewUserCentric()
+	uc.Observe(obs(1, "10.0.0.1", 0, false)) // v4 only
+	uc.Observe(obs(2, "2001:db8::1", 0, false))
+	uc.Observe(obs(2, "2001:db8::2", 0, false)) // v6 only
+	uc.Observe(obs(3, "10.0.0.2", 0, false))
+	uc.Observe(obs(3, "2001:db8::3", 0, false)) // dual
+	if got := uc.AddrsPerUser(netaddr.IPv4).N(); got != 2 {
+		t.Fatalf("v4 users = %d, want 2", got)
+	}
+	if got := uc.AddrsPerUser(netaddr.IPv6).N(); got != 2 {
+		t.Fatalf("v6 users = %d, want 2", got)
+	}
+}
+
+func TestUserCentricRestriction(t *testing.T) {
+	benign := NewUserCentricFor(false)
+	abusive := NewUserCentricFor(true)
+	both := []telemetry.Observation{
+		obs(1, "10.0.0.1", 0, false),
+		obs(2, "10.0.0.2", 0, true),
+	}
+	for _, o := range both {
+		benign.Observe(o)
+		abusive.Observe(o)
+	}
+	if benign.Users() != 1 || abusive.Users() != 1 {
+		t.Fatalf("restriction failed: benign=%d abusive=%d", benign.Users(), abusive.Users())
+	}
+}
+
+func TestUserCentricIgnoresInvalid(t *testing.T) {
+	uc := NewUserCentric()
+	uc.Observe(telemetry.Observation{UserID: 1})
+	if uc.Users() != 0 {
+		t.Fatal("invalid address counted")
+	}
+}
+
+func TestPrefixSpans(t *testing.T) {
+	uc := NewUserCentric()
+	// User 1: 3 addresses in one /64.
+	uc.Observe(obs(1, "2001:db8:0:1::a", 0, false))
+	uc.Observe(obs(1, "2001:db8:0:1::b", 0, false))
+	uc.Observe(obs(1, "2001:db8:0:1::c", 0, false))
+	// User 2: 2 addresses in two /64s of the same /48.
+	uc.Observe(obs(2, "2001:db8:0:1::a", 0, false))
+	uc.Observe(obs(2, "2001:db8:0:2::a", 0, false))
+	// User 3: v4 only (not a v6 user).
+	uc.Observe(obs(3, "10.0.0.1", 0, false))
+
+	spans := uc.PrefixSpans([]int{48, 64, 128})
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d entries", len(spans))
+	}
+	at := func(l int) SpanShare {
+		for _, s := range spans {
+			if s.Length == l {
+				return s
+			}
+		}
+		t.Fatalf("length %d missing", l)
+		return SpanShare{}
+	}
+	if got := at(48); got.One != 1 {
+		t.Fatalf("/48 one = %v, want 1 (both v6 users in one /48)", got.One)
+	}
+	if got := at(64); got.One != 0.5 || got.AtMost2 != 1 {
+		t.Fatalf("/64 = %+v, want one=0.5 <=2=1", got)
+	}
+	if got := at(128); got.One != 0 || got.AtMost2 != 0.5 || got.AtMost3 != 1 {
+		t.Fatalf("/128 = %+v", got)
+	}
+}
+
+func TestPrefixesPerUser(t *testing.T) {
+	uc := NewUserCentric()
+	uc.Observe(obs(1, "2001:db8:0:1::a", 0, false))
+	uc.Observe(obs(1, "2001:db8:0:2::a", 0, false))
+	uc.Observe(obs(1, "2001:db8:0:3::a", 0, false))
+	h := uc.PrefixesPerUser(64)
+	if h.N() != 1 || h.Max() != 3 {
+		t.Fatalf("prefixes hist N=%d max=%d", h.N(), h.Max())
+	}
+	if h48 := uc.PrefixesPerUser(48); h48.Max() != 1 {
+		t.Fatalf("/48 max = %d", h48.Max())
+	}
+}
+
+func TestTopUsersAndThresholds(t *testing.T) {
+	uc := NewUserCentric()
+	for i := 0; i < 10; i++ {
+		uc.Observe(obs(1, netaddr.AddrFrom6(0x20010db800000000, uint64(i)).String(), 0, false))
+	}
+	for i := 0; i < 3; i++ {
+		uc.Observe(obs(2, netaddr.AddrFrom6(0x20010db800000000, 0x100+uint64(i)).String(), 0, false))
+	}
+	tops := uc.TopUsersByAddrs(netaddr.IPv6, 5)
+	if len(tops) != 2 || tops[0].UID != 1 || tops[0].Count != 10 || tops[1].Count != 3 {
+		t.Fatalf("tops = %+v", tops)
+	}
+	if got := uc.UsersWithMoreThan(netaddr.IPv6, 5); got != 1 {
+		t.Fatalf("UsersWithMoreThan(5) = %d", got)
+	}
+	if got := uc.UsersWithMoreThan(netaddr.IPv6, 2); got != 2 {
+		t.Fatalf("UsersWithMoreThan(2) = %d", got)
+	}
+	if got := uc.UsersWithMoreThan(netaddr.IPv4, 0); got != 0 {
+		t.Fatalf("v4 UsersWithMoreThan = %d", got)
+	}
+}
+
+func TestAddrPatterns(t *testing.T) {
+	uc := NewUserCentric()
+	// User 1: EUI-64, same IID across two prefixes (reuse).
+	iid := netaddr.EUI64FromMAC(0xAABBCCDDEEFF)
+	a1 := netaddr.MustParseAddr("2001:db8:1:1::").WithIID(iid)
+	a2 := netaddr.MustParseAddr("2001:db8:2:2::").WithIID(iid)
+	uc.Observe(obs(1, a1.String(), 0, false))
+	uc.Observe(obs(1, a2.String(), 1, false))
+	// User 2: EUI-64 with two different IIDs (randomizing).
+	b1 := netaddr.MustParseAddr("2001:db8:3:3::").WithIID(netaddr.EUI64FromMAC(0x001122334455))
+	b2 := netaddr.MustParseAddr("2001:db8:3:3::").WithIID(netaddr.EUI64FromMAC(0x001122334466))
+	uc.Observe(obs(2, b1.String(), 0, false))
+	uc.Observe(obs(2, b2.String(), 1, false))
+	// User 3: teredo. User 4: 6to4. User 5: random IID.
+	uc.Observe(obs(3, "2001:0:1::1234:5678:9abc", 0, false))
+	uc.Observe(obs(4, "2002:0102:0304::aaaa:bbbb:cccc", 0, false))
+	uc.Observe(obs(5, "2001:db8::a1b2:c3d4:e5f6:0708", 0, false))
+
+	p := uc.AddrPatterns()
+	if p.V6Users != 5 {
+		t.Fatalf("V6Users = %d", p.V6Users)
+	}
+	if p.TeredoShare != 0.2 || p.SixToFourShare != 0.2 {
+		t.Fatalf("transition shares = %v / %v", p.TeredoShare, p.SixToFourShare)
+	}
+	if p.EUI64Share != 0.4 {
+		t.Fatalf("EUI64Share = %v", p.EUI64Share)
+	}
+	if p.EUI64IIDReuse != 0.5 {
+		t.Fatalf("EUI64IIDReuse = %v, want 0.5 (one reuser of two multi-addr users)", p.EUI64IIDReuse)
+	}
+	if p.RandomIIDShare != 0.2 {
+		t.Fatalf("RandomIIDShare = %v", p.RandomIIDShare)
+	}
+}
+
+func TestAddrPatternsEmpty(t *testing.T) {
+	uc := NewUserCentric()
+	p := uc.AddrPatterns()
+	if p.V6Users != 0 || p.TeredoShare != 0 || p.EUI64IIDReuse != 0 {
+		t.Fatalf("empty patterns = %+v", p)
+	}
+}

@@ -1,0 +1,170 @@
+// Package dataset persists windowed telemetry datasets with a metadata
+// header: the scenario that produced them, the day range, and record
+// counts. A dataset file is the unit of exchange between the generator
+// (cmd/userv6gen) and offline analysis — the stand-in for the paper's
+// "random sample datasets".
+//
+// File layout: a one-line JSON header terminated by '\n', followed by
+// the binary telemetry stream (telemetry.Writer format).
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+// Meta describes a dataset.
+type Meta struct {
+	// Seed and Users identify the producing scenario.
+	Seed  uint64 `json:"seed"`
+	Users int    `json:"users"`
+	// FromDay and ToDay bound the window (inclusive).
+	FromDay int `json:"from_day"`
+	ToDay   int `json:"to_day"`
+	// Sample describes the applied sampler ("all", "user:0.1", ...).
+	Sample string `json:"sample"`
+	// Records is filled at Close time.
+	Records uint64 `json:"records"`
+	// BenignOnly marks datasets without abusive traffic.
+	BenignOnly bool `json:"benign_only,omitempty"`
+}
+
+// Window returns the day range as simtime values.
+func (m Meta) Window() (from, to simtime.Day) {
+	return simtime.Day(m.FromDay), simtime.Day(m.ToDay)
+}
+
+// Writer writes a dataset file.
+type Writer struct {
+	f    *os.File
+	tw   *telemetry.Writer
+	meta Meta
+}
+
+// Create opens path for writing with the given metadata. The record
+// count in the header is finalized by Close (the header is rewritten).
+func Create(path string, meta Meta) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: create: %w", err)
+	}
+	w := &Writer{f: f, meta: meta}
+	if err := w.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.tw = telemetry.NewWriter(f)
+	return w, nil
+}
+
+// headerSize is the fixed on-disk header length: the JSON line is padded
+// with spaces so Close can rewrite it in place with the final count.
+const headerSize = 256
+
+func (w *Writer) writeHeader() error {
+	b, err := json.Marshal(w.meta)
+	if err != nil {
+		return fmt.Errorf("dataset: marshal header: %w", err)
+	}
+	if len(b) >= headerSize {
+		return fmt.Errorf("dataset: header too large (%d bytes)", len(b))
+	}
+	buf := make([]byte, headerSize)
+	for i := range buf {
+		buf[i] = ' '
+	}
+	copy(buf, b)
+	buf[headerSize-1] = '\n'
+	if _, err := w.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	if _, err := w.f.Seek(headerSize, io.SeekStart); err != nil {
+		return fmt.Errorf("dataset: seek: %w", err)
+	}
+	return nil
+}
+
+// Write appends one observation.
+func (w *Writer) Write(o telemetry.Observation) error {
+	return w.tw.Write(o)
+}
+
+// Emit adapts Write to a telemetry.EmitFunc, recording the first error.
+func (w *Writer) Emit() (telemetry.EmitFunc, *error) {
+	var firstErr error
+	return func(o telemetry.Observation) {
+		if firstErr == nil {
+			firstErr = w.Write(o)
+		}
+	}, &firstErr
+}
+
+// Close flushes the stream, rewrites the header with the final record
+// count, and closes the file.
+func (w *Writer) Close() error {
+	if err := w.tw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	w.meta.Records = w.tw.Count()
+	if err := w.writeHeader(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader reads a dataset file.
+type Reader struct {
+	f    *os.File
+	tr   *telemetry.Reader
+	meta Meta
+}
+
+// Open opens a dataset file and parses its header.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open: %w", err)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(trimHeader(hdr), &meta); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: parse header: %w", err)
+	}
+	return &Reader{f: f, tr: telemetry.NewReader(bufio.NewReaderSize(f, 1<<16)), meta: meta}, nil
+}
+
+// trimHeader strips padding from the fixed-size header line.
+func trimHeader(b []byte) []byte {
+	end := len(b)
+	for end > 0 && (b[end-1] == ' ' || b[end-1] == '\n') {
+		end--
+	}
+	return b[:end]
+}
+
+// Meta returns the dataset metadata.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// ForEach streams every record through fn.
+func (r *Reader) ForEach(fn telemetry.EmitFunc) error {
+	return r.tr.ForEach(fn)
+}
+
+// Read returns the next record or io.EOF.
+func (r *Reader) Read() (telemetry.Observation, error) { return r.tr.Read() }
+
+// Close closes the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+func sample(n int) []telemetry.Observation {
+	out := make([]telemetry.Observation, n)
+	for i := range out {
+		o := telemetry.Observation{
+			Day:      simtime.Day(i % 7),
+			UserID:   uint64(i),
+			Addr:     netaddr.AddrFrom6(0x20010db8<<32, uint64(i)),
+			Requests: uint32(i + 1),
+			Abusive:  i%5 == 0,
+		}
+		o.SetCountry("US")
+		out[i] = o
+	}
+	return out
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.uv6")
+	meta := Meta{Seed: 7, Users: 100, FromDay: 0, ToDay: 6, Sample: "all"}
+	w, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sample(500)
+	for _, o := range in {
+		if err := w.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := r.Meta()
+	if got.Seed != 7 || got.Users != 100 || got.Sample != "all" {
+		t.Fatalf("meta = %+v", got)
+	}
+	if got.Records != 500 {
+		t.Fatalf("records = %d", got.Records)
+	}
+	from, to := got.Window()
+	if from != 0 || to != 6 {
+		t.Fatalf("window = %v..%v", from, to)
+	}
+	i := 0
+	if err := r.ForEach(func(o telemetry.Observation) {
+		if o != in[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+		i++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(in) {
+		t.Fatalf("read %d records", i)
+	}
+}
+
+func TestDatasetEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.uv6")
+	w, err := Create(path, Meta{Sample: "all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit, errp := w.Emit()
+	for _, o := range sample(10) {
+		emit(o)
+	}
+	if *errp != nil {
+		t.Fatal(*errp)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Meta().Records != 10 {
+		t.Fatalf("records = %d", r.Meta().Records)
+	}
+}
+
+func TestDatasetEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.uv6")
+	w, err := Create(path, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Meta().Records != 0 {
+		t.Fatalf("records = %d", r.Meta().Records)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestDatasetOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.uv6")); err == nil {
+		t.Fatal("opened missing file")
+	}
+	// Garbage header.
+	path := filepath.Join(t.TempDir(), "garbage.uv6")
+	if err := writeFile(path, make([]byte, headerSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("parsed garbage header")
+	}
+	// Too-short file.
+	short := filepath.Join(t.TempDir(), "short.uv6")
+	if err := writeFile(short, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(short); err == nil {
+		t.Fatal("opened truncated header")
+	}
+}
+
+func writeFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

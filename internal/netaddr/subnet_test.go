@@ -1,0 +1,109 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubnetBasic(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/32")
+	cases := []struct {
+		newLen int
+		idx    uint64
+		want   string
+	}{
+		{48, 0, "2001:db8::/48"},
+		{48, 1, "2001:db8:1::/48"},
+		{48, 0xffff, "2001:db8:ffff::/48"},
+		{48, 0x10000, "2001:db8::/48"}, // wraps modulo capacity
+		{64, 0x1234_5678, "2001:db8:1234:5678::/64"},
+		{32, 7, "2001:db8::/32"}, // same length: idx ignored
+	}
+	for _, c := range cases {
+		if got := p.Subnet(c.newLen, c.idx); got.String() != c.want {
+			t.Errorf("Subnet(%d, %#x) = %s, want %s", c.newLen, c.idx, got, c.want)
+		}
+	}
+}
+
+func TestSubnetStraddlesWordBoundary(t *testing.T) {
+	p := MustParsePrefix("2001:db8:1234:5600::/56")
+	got := p.Subnet(72, 0xabcd)
+	// 16 bits inserted at [56, 72): top 8 in hi's low byte, low 8 in lo's
+	// top byte.
+	want := MustParsePrefix("2001:db8:1234:56ab:cd00::/72")
+	if got != want {
+		t.Fatalf("Subnet = %s, want %s", got, want)
+	}
+	if !p.Contains(got.Addr()) {
+		t.Fatal("subnet escaped parent")
+	}
+}
+
+func TestSubnetIntoLowWord(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/64")
+	got := p.Subnet(112, 0xdeadbeef1234)
+	want := MustParsePrefix("2001:db8::dead:beef:1234:0/112")
+	if got != want {
+		t.Fatalf("Subnet = %s, want %s", got, want)
+	}
+}
+
+func TestSubnetV4(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if got := p.Subnet(16, 5); got.String() != "10.5.0.0/16" {
+		t.Fatalf("Subnet = %s", got)
+	}
+	if got := p.Subnet(32, 0x010203); got.String() != "10.1.2.3/32" {
+		t.Fatalf("Subnet = %s", got)
+	}
+	// newLen beyond family width clamps.
+	if got := p.Subnet(64, 1); got.Bits() != 32 {
+		t.Fatalf("clamp failed: %s", got)
+	}
+}
+
+func TestSubnetClampsShorter(t *testing.T) {
+	p := MustParsePrefix("2001:db8::/48")
+	if got := p.Subnet(32, 3); got != p.Subnet(48, 3) || got.Bits() != 48 {
+		t.Fatalf("shorter newLen should clamp to parent length, got %s", got)
+	}
+	var zero Prefix
+	if zero.Subnet(64, 1).IsValid() {
+		t.Fatal("subnet of invalid prefix should be invalid")
+	}
+}
+
+// Properties: the subnet is always contained in the parent, has the
+// requested length, and distinct small indices give distinct subnets.
+func TestSubnetProperties(t *testing.T) {
+	f := func(hi, lo, idx uint64, pb, nb uint8) bool {
+		pbits := int(pb) % 129
+		nbits := pbits + int(nb)%(129-pbits)
+		parent := PrefixFrom(AddrFrom6(hi, lo), pbits)
+		sub := parent.Subnet(nbits, idx)
+		if sub.Bits() != nbits {
+			return false
+		}
+		if !parent.Overlaps(sub) {
+			return false
+		}
+		// Parent must contain the subnet's base address.
+		return parent.Contains(sub.Addr())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubnetDistinctIndices(t *testing.T) {
+	p := MustParsePrefix("2a00:1450::/32")
+	seen := make(map[Prefix]bool)
+	for i := uint64(0); i < 1000; i++ {
+		s := p.Subnet(64, i)
+		if seen[s] {
+			t.Fatalf("duplicate subnet at idx %d", i)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,75 @@
+package netmodel
+
+// Country holds the per-country calibration inputs for the synthetic
+// population. The values are set so that the marginals the paper reports
+// (Table 1's ASN ratios, Table 2's country ratios, Figure 1's global
+// prevalence) emerge from simulation; they are the only public anchors
+// the paper provides, since the raw data is proprietary.
+type Country struct {
+	// Code is an ISO-3166-style country code, Name the display name.
+	Code, Name string
+	// Weight is the country's share of the platform's user base.
+	Weight float64
+	// ResV6, MobV6 and EntV6 are the probabilities that a user's home,
+	// mobile, and workplace networks deploy IPv6.
+	ResV6, MobV6, EntV6 float64
+	// LegacyShare is the probability that a user's home network is the
+	// country's "legacy" ISP with marginal IPv6 deployment (<10% of its
+	// subscribers), the population behind the paper's 28.3%-of-ASNs-
+	// below-10% observation.
+	LegacyShare float64
+	// HomeW, MobW and WorkW are mean daily time shares for the three
+	// context types (normalized per user at synthesis).
+	HomeW, MobW, WorkW float64
+	// WorkOnly is the fraction of users active on the platform only
+	// from work before lockdowns (the mechanism behind Germany's
+	// lockdown-driven IPv6 jump).
+	WorkOnly float64
+}
+
+// Countries returns the calibrated country table. Weights need not sum
+// to 1; the population synthesizer normalizes.
+func Countries() []Country {
+	return []Country{
+		// Top IPv6 countries (paper Table 2): India leads at ~84%.
+		{Code: "IN", Name: "India", Weight: 0.145, ResV6: 0.55, MobV6: 0.93, EntV6: 0.30, LegacyShare: 0.10, HomeW: 0.30, MobW: 0.60, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "US", Name: "United States", Weight: 0.095, ResV6: 0.66, MobV6: 0.62, EntV6: 0.30, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "GR", Name: "Greece", Weight: 0.006, ResV6: 0.66, MobV6: 0.60, EntV6: 0.70, LegacyShare: 0.05, HomeW: 0.40, MobW: 0.35, WorkW: 0.25, WorkOnly: 0.04},
+		{Code: "VN", Name: "Vietnam", Weight: 0.040, ResV6: 0.64, MobV6: 0.64, EntV6: 0.30, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.45, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "BE", Name: "Belgium", Weight: 0.005, ResV6: 0.70, MobV6: 0.62, EntV6: 0.40, LegacyShare: 0.05, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "TW", Name: "Taiwan", Weight: 0.010, ResV6: 0.62, MobV6: 0.62, EntV6: 0.35, LegacyShare: 0.06, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "BR", Name: "Brazil", Weight: 0.080, ResV6: 0.52, MobV6: 0.55, EntV6: 0.25, LegacyShare: 0.10, HomeW: 0.40, MobW: 0.50, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "MY", Name: "Malaysia", Weight: 0.012, ResV6: 0.55, MobV6: 0.58, EntV6: 0.25, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.45, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "PT", Name: "Portugal", Weight: 0.005, ResV6: 0.50, MobV6: 0.48, EntV6: 0.35, LegacyShare: 0.06, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "FI", Name: "Finland", Weight: 0.003, ResV6: 0.48, MobV6: 0.50, EntV6: 0.30, LegacyShare: 0.05, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		// Germany: modest pre-pandemic ratio that jumps under lockdown —
+		// a large work-only population whose home lines (Deutsche
+		// Telekom) are IPv6-rich.
+		{Code: "DE", Name: "Germany", Weight: 0.024, ResV6: 0.58, MobV6: 0.18, EntV6: 0.12, LegacyShare: 0.10, HomeW: 0.35, MobW: 0.30, WorkW: 0.35, WorkOnly: 0.38},
+		// Large v4-heavy populations; Indonesia also hosts the mega-CGN
+		// IPv4 outliers (Telkom).
+		{Code: "ID", Name: "Indonesia", Weight: 0.070, ResV6: 0.10, MobV6: 0.12, EntV6: 0.05, LegacyShare: 0.20, HomeW: 0.35, MobW: 0.55, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "MX", Name: "Mexico", Weight: 0.040, ResV6: 0.26, MobV6: 0.30, EntV6: 0.15, LegacyShare: 0.12, HomeW: 0.40, MobW: 0.50, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "PH", Name: "Philippines", Weight: 0.040, ResV6: 0.15, MobV6: 0.25, EntV6: 0.05, LegacyShare: 0.15, HomeW: 0.35, MobW: 0.55, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "TH", Name: "Thailand", Weight: 0.030, ResV6: 0.32, MobV6: 0.46, EntV6: 0.15, LegacyShare: 0.10, HomeW: 0.40, MobW: 0.50, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "EG", Name: "Egypt", Weight: 0.030, ResV6: 0.03, MobV6: 0.04, EntV6: 0.02, LegacyShare: 0.20, HomeW: 0.40, MobW: 0.50, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "TR", Name: "Turkey", Weight: 0.022, ResV6: 0.03, MobV6: 0.05, EntV6: 0.02, LegacyShare: 0.18, HomeW: 0.40, MobW: 0.50, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "GB", Name: "United Kingdom", Weight: 0.020, ResV6: 0.36, MobV6: 0.30, EntV6: 0.20, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "FR", Name: "France", Weight: 0.020, ResV6: 0.38, MobV6: 0.34, EntV6: 0.20, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "IT", Name: "Italy", Weight: 0.020, ResV6: 0.25, MobV6: 0.30, EntV6: 0.10, LegacyShare: 0.12, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "JP", Name: "Japan", Weight: 0.028, ResV6: 0.34, MobV6: 0.32, EntV6: 0.20, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.04},
+		{Code: "ES", Name: "Spain", Weight: 0.015, ResV6: 0.15, MobV6: 0.20, EntV6: 0.08, LegacyShare: 0.12, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "NG", Name: "Nigeria", Weight: 0.020, ResV6: 0.02, MobV6: 0.02, EntV6: 0.01, LegacyShare: 0.25, HomeW: 0.35, MobW: 0.55, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "BD", Name: "Bangladesh", Weight: 0.020, ResV6: 0.08, MobV6: 0.10, EntV6: 0.03, LegacyShare: 0.20, HomeW: 0.35, MobW: 0.55, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "PK", Name: "Pakistan", Weight: 0.020, ResV6: 0.04, MobV6: 0.06, EntV6: 0.02, LegacyShare: 0.20, HomeW: 0.35, MobW: 0.55, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "AR", Name: "Argentina", Weight: 0.015, ResV6: 0.16, MobV6: 0.21, EntV6: 0.08, LegacyShare: 0.12, HomeW: 0.40, MobW: 0.50, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "CO", Name: "Colombia", Weight: 0.015, ResV6: 0.14, MobV6: 0.18, EntV6: 0.08, LegacyShare: 0.12, HomeW: 0.40, MobW: 0.50, WorkW: 0.10, WorkOnly: 0.02},
+		{Code: "PL", Name: "Poland", Weight: 0.010, ResV6: 0.12, MobV6: 0.18, EntV6: 0.06, LegacyShare: 0.12, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "NL", Name: "Netherlands", Weight: 0.008, ResV6: 0.27, MobV6: 0.25, EntV6: 0.18, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "CA", Name: "Canada", Weight: 0.008, ResV6: 0.27, MobV6: 0.27, EntV6: 0.18, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "AU", Name: "Australia", Weight: 0.008, ResV6: 0.23, MobV6: 0.23, EntV6: 0.15, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		{Code: "SE", Name: "Sweden", Weight: 0.005, ResV6: 0.22, MobV6: 0.25, EntV6: 0.12, LegacyShare: 0.08, HomeW: 0.45, MobW: 0.40, WorkW: 0.15, WorkOnly: 0.03},
+		// Aggregate bucket for the long tail of smaller countries.
+		{Code: "ZZ", Name: "Rest of world", Weight: 0.200, ResV6: 0.07, MobV6: 0.09, EntV6: 0.05, LegacyShare: 0.15, HomeW: 0.40, MobW: 0.50, WorkW: 0.10, WorkOnly: 0.02},
+	}
+}

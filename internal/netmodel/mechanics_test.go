@@ -1,0 +1,255 @@
+package netmodel
+
+import (
+	"testing"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/simtime"
+)
+
+// TestHotCGNShare verifies the warm/hot subscriber split of V4CGN.
+func TestHotCGNShare(t *testing.T) {
+	w := testWorld(t)
+	n := w.CountryByCode("VN").MobV4
+	if n.V4.HotShare <= 0 {
+		t.Skip("no hot share configured")
+	}
+	hot := 0
+	const subs = 4000
+	for sub := uint64(0); sub < subs; sub++ {
+		// A hot subscriber's address varies with the session index.
+		a0 := n.V4AddrAt(sub, 3, 0)
+		varies := false
+		for s := 1; s < 6; s++ {
+			if n.V4AddrAt(sub, 3, s) != a0 {
+				varies = true
+				break
+			}
+		}
+		if varies {
+			hot++
+		}
+	}
+	got := float64(hot) / subs
+	// Hot subscribers occasionally draw the same pool slot repeatedly,
+	// so the observed share slightly undershoots the configured one.
+	if got < n.V4.HotShare-0.08 || got > n.V4.HotShare+0.05 {
+		t.Fatalf("hot share = %v, configured %v", got, n.V4.HotShare)
+	}
+}
+
+// TestStaticHouseholdShare verifies that a share of household lines
+// never rotates.
+func TestStaticHouseholdShare(t *testing.T) {
+	w := testWorld(t)
+	n := w.CountryByCode("US").ResV4
+	static := 0
+	const subs = 3000
+	for sub := uint64(0); sub < subs; sub++ {
+		a0 := n.V4AddrAt(sub, 0, 0)
+		stable := true
+		for d := simtime.Day(1); d < 60; d += 3 {
+			if n.V4AddrAt(sub, d, 0) != a0 {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			static++
+		}
+	}
+	got := float64(static) / subs
+	want := n.V4.StaticShare
+	if got < want-0.04 || got > want+0.04 {
+		t.Fatalf("static share = %v, configured %v", got, want)
+	}
+}
+
+// TestResidentialRegionalAggregation: a subscriber's delegated prefixes
+// across rotations stay inside one /44 region, and regions are shared by
+// many subscribers.
+func TestResidentialRegionalAggregation(t *testing.T) {
+	w := testWorld(t)
+	n := w.CountryByCode("US").ResV6
+	var sub uint64
+	for ; sub < 1000; sub++ {
+		if n.SubscriberHasV6(sub) {
+			break
+		}
+	}
+	region := netaddr.PrefixFrom(n.SubscriberDelegation(sub, 0).Addr(), 44)
+	sawRotation := false
+	base := n.SubscriberDelegation(sub, 0)
+	for d := simtime.Day(1); d < 120; d++ {
+		deleg := n.SubscriberDelegation(sub, d)
+		if deleg != base {
+			sawRotation = true
+		}
+		if netaddr.PrefixFrom(deleg.Addr(), 44) != region {
+			t.Fatalf("delegation %s left region %s", deleg, region)
+		}
+	}
+	if !sawRotation {
+		t.Fatal("delegation never rotated in 120 days")
+	}
+	// Regions are shared: at most 256 regions exist per ISP.
+	regions := make(map[netaddr.Prefix]bool)
+	for s := uint64(0); s < 2000; s++ {
+		if !n.SubscriberHasV6(s) {
+			continue
+		}
+		regions[netaddr.PrefixFrom(n.SubscriberDelegation(s, 0).Addr(), 44)] = true
+	}
+	if len(regions) > 256 {
+		t.Fatalf("regions = %d, want <= 256", len(regions))
+	}
+	if len(regions) < 32 {
+		t.Fatalf("regions = %d, want spread", len(regions))
+	}
+}
+
+// TestMobileRegionPinning: a mobile subscriber's /64s across subnet
+// epochs stay inside one /48 of the carrier block.
+func TestMobileRegionPinning(t *testing.T) {
+	w := testWorld(t)
+	n := w.CountryByCode("IN").MobV6[0]
+	checked := 0
+	for sub := uint64(0); sub < 200 && checked < 20; sub++ {
+		if !n.SubscriberHasV6(sub) {
+			continue
+		}
+		checked++
+		var region netaddr.Prefix
+		for d := simtime.Day(0); d < 60; d++ {
+			a := n.V6AddrAt(sub, 0, d, 0, false)
+			r := netaddr.PrefixFrom(a, 48)
+			if !region.IsValid() {
+				region = r
+			} else if r != region {
+				t.Fatalf("sub %d /48 moved: %s -> %s", sub, region, r)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no v6 subscribers checked")
+	}
+}
+
+// TestMobilePoolBounded: the carrier's distinct /64s stay within the
+// configured pool size.
+func TestMobilePoolBounded(t *testing.T) {
+	w := testWorld(t)
+	n := w.CountryByCode("IN").MobV6[0]
+	seen := make(map[netaddr.Prefix]bool)
+	for sub := uint64(0); sub < 3000; sub++ {
+		if !n.SubscriberHasV6(sub) {
+			continue
+		}
+		for d := simtime.Day(0); d < 28; d += 7 {
+			seen[netaddr.PrefixFrom(n.V6AddrAt(sub, 0, d, 0, false), 64)] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no /64s observed")
+	}
+	if len(seen) > n.V6.PoolSize {
+		t.Fatalf("distinct /64s %d exceed pool %d", len(seen), n.V6.PoolSize)
+	}
+	// The pool recycles: far more subscriber-epochs than /64s.
+	if len(seen) < n.V6.PoolSize/10 {
+		t.Fatalf("pool underused: %d of %d", len(seen), n.V6.PoolSize)
+	}
+}
+
+// TestTransitionRelays: relay networks assign addresses inside the
+// well-known transition prefixes and classify accordingly.
+func TestTransitionRelays(t *testing.T) {
+	w := testWorld(t)
+	if len(w.Transition) != 2 {
+		t.Fatalf("transition networks = %d", len(w.Transition))
+	}
+	for _, n := range w.Transition {
+		a := n.V6AddrAt(42, 0, 3, 0, false)
+		if !a.IsValid() {
+			t.Fatalf("%s assigned no address", n.Name)
+		}
+		kind := netaddr.Classify(a)
+		if kind != netaddr.KindTeredo && kind != netaddr.Kind6to4 {
+			t.Fatalf("%s address %s classifies as %v", n.Name, a, kind)
+		}
+		if got := w.ASNOf(a); got != n.ASN {
+			t.Fatalf("relay address not routed to relay ASN")
+		}
+	}
+}
+
+// TestMobileChurnHeterogeneity: a minority of subscribers move /64s much
+// faster than the rest.
+func TestMobileChurnHeterogeneity(t *testing.T) {
+	w := testWorld(t)
+	n := w.CountryByCode("IN").MobV6[0]
+	fast, slow, total := 0, 0, 0
+	for sub := uint64(0); sub < 2000 && total < 400; sub++ {
+		if !n.SubscriberHasV6(sub) {
+			continue
+		}
+		total++
+		distinct := make(map[netaddr.Prefix]bool)
+		for d := simtime.Day(0); d < 14; d++ {
+			distinct[netaddr.PrefixFrom(n.V6AddrAt(sub, 0, d, 0, false), 64)] = true
+		}
+		switch {
+		case len(distinct) >= 7:
+			fast++
+		case len(distinct) <= 2:
+			slow++
+		}
+	}
+	if fast == 0 {
+		t.Fatal("no fast-churn subscribers")
+	}
+	if slow == 0 {
+		t.Fatal("no slow subscribers")
+	}
+	fastShare := float64(fast) / float64(total)
+	if fastShare < 0.1 || fastShare > 0.35 {
+		t.Fatalf("fast-churn share = %v, want ~0.2", fastShare)
+	}
+}
+
+// TestGatewayBenignAggregation: gateway subscribers funnel through few
+// addresses, all inside per-gateway /112s.
+func TestGatewayBenignAggregation(t *testing.T) {
+	w := testWorld(t)
+	var gw *Network
+	for _, m := range w.CountryByCode("US").MobV6 {
+		if m.Kind == MobileGateway {
+			gw = m
+		}
+	}
+	addrs := make(map[netaddr.Addr]int)
+	per112 := make(map[netaddr.Prefix]int)
+	for sub := uint64(0); sub < 2000; sub++ {
+		a := gw.V6AddrAt(sub, 0, 9, 0, false)
+		if !a.IsValid() {
+			continue
+		}
+		addrs[a]++
+		per112[netaddr.PrefixFrom(a, 112)]++
+	}
+	if len(addrs) == 0 {
+		t.Fatal("no gateway addresses")
+	}
+	if len(addrs) > gw.V6.Gateways*gw.V6.SlotsPerGateway {
+		t.Fatalf("addresses %d exceed slots", len(addrs))
+	}
+	// Aggregation: average users per address far above 1.
+	if 2000/len(addrs) < 10 {
+		t.Fatalf("weak gateway aggregation: %d addrs for 2000 subs", len(addrs))
+	}
+	for p, c := range per112 {
+		if c < 2 {
+			t.Fatalf("sparse /112 %s (%d)", p, c)
+		}
+	}
+}

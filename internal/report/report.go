@@ -1,0 +1,194 @@
+// Package report renders analysis results as text: aligned tables and
+// ASCII curve plots, the output format of the cmd/userv6 experiment
+// harness. Everything writes to an io.Writer so tools and tests can
+// capture output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"userv6/internal/stats"
+)
+
+// Table renders rows with aligned columns. The first row is the header.
+type Table struct {
+	rows [][]string
+}
+
+// NewTable returns a table with the given header.
+func NewTable(header ...string) *Table {
+	t := &Table{}
+	t.rows = append(t.rows, header)
+	return t
+}
+
+// Row appends a data row; values are formatted with %v, floats with %.4g.
+func (t *Table) Row(values ...any) *Table {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		case float32:
+			row[i] = formatFloat(float64(x))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+func formatFloat(x float64) string {
+	if math.IsNaN(x) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", x)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, 0)
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for ri, row := range t.rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Series is one named curve for plotting.
+type Series struct {
+	Name   string
+	Points []stats.Point
+}
+
+// Plot renders one or more series as an ASCII chart of the given size.
+// X and Y ranges cover all points; each series uses its own marker.
+func Plot(w io.Writer, width, height int, series ...Series) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if !any {
+		_, err := io.WriteString(w, "(no data)\n")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			x := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			y := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				grid[row][x] = m
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%10.3g ┤\n", maxY)
+	for _, row := range grid {
+		sb.WriteString(strings.Repeat(" ", 11))
+		sb.WriteByte('|')
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%10.3g └%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&sb, "%12s%-*.3g%*.3g\n", "", width/2, minX, width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// CDFSeries samples an integer histogram's CDF into a plottable series.
+func CDFSeries(name string, h *stats.IntHist, maxV int) Series {
+	return Series{Name: name, Points: h.CDFPoints(maxV)}
+}
+
+// ROCSeries converts an ROC curve to a plottable series (FPR on a log10
+// x-axis, as in the paper's Figure 11).
+func ROCSeries(name string, r *stats.ROC) Series {
+	s := Series{Name: name}
+	for _, p := range r.Points {
+		if p.FPR <= 0 {
+			continue
+		}
+		s.Points = append(s.Points, stats.Point{X: math.Log10(p.FPR), Y: p.TPR})
+	}
+	return s
+}
+
+// Percent formats a ratio as a percentage string.
+func Percent(x float64) string {
+	if math.IsNaN(x) {
+		return "-"
+	}
+	switch {
+	case x != 0 && math.Abs(x) < 0.0001:
+		return fmt.Sprintf("%.4f%%", x*100)
+	case x != 0 && math.Abs(x) < 0.01:
+		return fmt.Sprintf("%.2f%%", x*100)
+	default:
+		return fmt.Sprintf("%.1f%%", x*100)
+	}
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"userv6/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := NewTable("name", "value").
+		Row("alpha", 1).
+		Row("b", 22.5).
+		Write(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[3], "22.5") {
+		t.Fatalf("rows = %q", out)
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	col := strings.Index(lines[0], "value")
+	if lines[2][col-1] != ' ' {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+}
+
+func TestTableNaN(t *testing.T) {
+	var buf bytes.Buffer
+	NewTable("x").Row(math.NaN()).Write(&buf)
+	if !strings.Contains(buf.String(), "-") {
+		t.Fatalf("NaN not rendered as dash: %q", buf.String())
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, 32, 8,
+		Series{Name: "up", Points: []stats.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}},
+		Series{Name: "down", Points: []stats.Point{{X: 0, Y: 1}, {X: 1, Y: 0}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers missing: %q", out)
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatalf("legend missing: %q", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, 32, 8, Series{Name: "none"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty plot = %q", buf.String())
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point: ranges collapse; must not panic or divide by zero.
+	if err := Plot(&buf, 4, 2, Series{Name: "pt", Points: []stats.Point{{X: 5, Y: 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestPlotSkipsNaN(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, 16, 4, Series{Name: "s", Points: []stats.Point{
+		{X: math.NaN(), Y: 1}, {X: 1, Y: math.NaN()}, {X: 0, Y: 0}, {X: 1, Y: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	h := stats.NewIntHist(8)
+	h.Add(0)
+	h.Add(2)
+	s := CDFSeries("cdf", h, 3)
+	if s.Name != "cdf" || len(s.Points) != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+	if s.Points[0].Y != 0.5 || s.Points[3].Y != 1 {
+		t.Fatalf("points = %+v", s.Points)
+	}
+}
+
+func TestROCSeriesLogScaleAndZeroFPR(t *testing.T) {
+	roc := stats.NewROC([]stats.ROCPoint{
+		{TPR: 0.1, FPR: 0},     // dropped: log10(0) undefined
+		{TPR: 0.2, FPR: 0.001}, // x = -3
+		{TPR: 0.5, FPR: 0.1},   // x = -1
+	})
+	s := ROCSeries("roc", roc)
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %+v", s.Points)
+	}
+	if math.Abs(s.Points[0].X+3) > 1e-9 || math.Abs(s.Points[1].X+1) > 1e-9 {
+		t.Fatalf("log x = %+v", s.Points)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.5, "50.0%"},
+		{0.001, "0.10%"},
+		{0.00001, "0.0010%"},
+		{0, "0.0%"},
+	}
+	for _, c := range cases {
+		if got := Percent(c.in); got != c.want {
+			t.Errorf("Percent(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if Percent(math.NaN()) != "-" {
+		t.Error("NaN percent")
+	}
+}

@@ -1,0 +1,200 @@
+// Package sampling implements the paper's deterministic attribute-hash
+// sampling (§3.1): a sample selects all records whose hashed attribute
+// (user ID, source address, or enclosing prefix) falls under a rate
+// threshold. Determinism over time and records means a sampled entity's
+// *complete* request history is retained — the property every user-level
+// analysis in the paper depends on.
+package sampling
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/telemetry"
+)
+
+// hash64 is the SplitMix64 finalizer, shared with the sketches.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// threshold converts a sampling rate in [0, 1] to a hash cutoff.
+func threshold(rate float64) uint64 {
+	switch {
+	case rate <= 0:
+		return 0
+	case rate >= 1:
+		return ^uint64(0)
+	default:
+		return uint64(rate * float64(1<<63) * 2)
+	}
+}
+
+// admit applies a cutoff with exact behavior at the extremes (hash 0
+// exists — SplitMix64 maps 0 to 0 — so rate 0 must short-circuit).
+func admit(hash, cut uint64) bool {
+	switch cut {
+	case 0:
+		return false
+	case ^uint64(0):
+		return true
+	default:
+		return hash <= cut
+	}
+}
+
+// Sampler decides whether an observation belongs to a sample.
+type Sampler interface {
+	// Sampled reports whether the observation is in the sample.
+	Sampled(o telemetry.Observation) bool
+	// Rate returns the configured sampling rate for extrapolation.
+	Rate() float64
+}
+
+// UserSampler selects all observations of a deterministic fraction of
+// users — the paper's "user random sample".
+type UserSampler struct {
+	cut  uint64
+	rate float64
+	seed uint64
+}
+
+// ByUser returns a UserSampler at the given rate.
+func ByUser(rate float64, seed uint64) *UserSampler {
+	return &UserSampler{cut: threshold(rate), rate: rate, seed: seed}
+}
+
+// Sampled implements Sampler.
+func (s *UserSampler) Sampled(o telemetry.Observation) bool {
+	return admit(hash64(o.UserID^s.seed), s.cut)
+}
+
+// Rate implements Sampler.
+func (s *UserSampler) Rate() float64 { return s.rate }
+
+// SampledUser reports whether a bare user ID is in the sample.
+func (s *UserSampler) SampledUser(id uint64) bool {
+	return admit(hash64(id^s.seed), s.cut)
+}
+
+// AddrSampler selects all observations from a deterministic fraction of
+// source addresses — the paper's "IP random sample".
+type AddrSampler struct {
+	cut  uint64
+	rate float64
+	seed uint64
+}
+
+// ByAddr returns an AddrSampler at the given rate.
+func ByAddr(rate float64, seed uint64) *AddrSampler {
+	return &AddrSampler{cut: threshold(rate), rate: rate, seed: seed}
+}
+
+// Sampled implements Sampler.
+func (s *AddrSampler) Sampled(o telemetry.Observation) bool {
+	return s.SampledAddr(o.Addr)
+}
+
+// SampledAddr reports whether a bare address is in the sample.
+func (s *AddrSampler) SampledAddr(a netaddr.Addr) bool {
+	hi, lo := a.Words()
+	return admit(hash64(hi^hash64(lo^s.seed)), s.cut)
+}
+
+// Rate implements Sampler.
+func (s *AddrSampler) Rate() float64 { return s.rate }
+
+// PrefixSampler selects all observations whose address falls in a
+// deterministic fraction of prefixes of a fixed length — the paper's
+// "IPv6 prefix random sample" (one sampler per prefix length).
+type PrefixSampler struct {
+	cut    uint64
+	rate   float64
+	seed   uint64
+	length int
+}
+
+// ByPrefix returns a PrefixSampler for the given prefix length.
+func ByPrefix(rate float64, length int, seed uint64) *PrefixSampler {
+	return &PrefixSampler{cut: threshold(rate), rate: rate, seed: seed, length: length}
+}
+
+// Length returns the prefix length the sampler operates on.
+func (s *PrefixSampler) Length() int { return s.length }
+
+// Sampled implements Sampler.
+func (s *PrefixSampler) Sampled(o telemetry.Observation) bool {
+	return s.SampledPrefix(netaddr.PrefixFrom(o.Addr, s.length))
+}
+
+// SampledPrefix reports whether a prefix is in the sample. The prefix
+// must already be at the sampler's length (callers mask first).
+func (s *PrefixSampler) SampledPrefix(p netaddr.Prefix) bool {
+	hi, lo := p.Addr().Words()
+	return admit(hash64(hi^hash64(lo^hash64(uint64(p.Bits())^s.seed))), s.cut)
+}
+
+// Rate implements Sampler.
+func (s *PrefixSampler) Rate() float64 { return s.rate }
+
+// All is a pass-through sampler (rate 1) for analyses that consume the
+// entire simulated platform.
+type All struct{}
+
+// Sampled implements Sampler: always true.
+func (All) Sampled(telemetry.Observation) bool { return true }
+
+// Rate implements Sampler: 1.
+func (All) Rate() float64 { return 1 }
+
+// Filter wraps an EmitFunc so only sampled observations pass through.
+func Filter(s Sampler, fn telemetry.EmitFunc) telemetry.EmitFunc {
+	return func(o telemetry.Observation) {
+		if s.Sampled(o) {
+			fn(o)
+		}
+	}
+}
+
+// Parse builds a sampler from a compact spec string, the form the
+// command-line tools accept:
+//
+//	"all"          every observation
+//	"user:0.1"     10% of users
+//	"addr:0.01"    1% of addresses
+//	"prefix64:0.3" 30% of /64 prefixes (any length: "prefix48:...")
+func Parse(spec string, seed uint64) (Sampler, error) {
+	if spec == "" || spec == "all" {
+		return All{}, nil
+	}
+	i := strings.IndexByte(spec, ':')
+	if i < 0 {
+		return nil, fmt.Errorf("sampling: bad spec %q (want kind:rate)", spec)
+	}
+	kind, rateStr := spec[:i], spec[i+1:]
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("sampling: bad rate %q", rateStr)
+	}
+	switch {
+	case kind == "user":
+		return ByUser(rate, seed), nil
+	case kind == "addr":
+		return ByAddr(rate, seed), nil
+	case strings.HasPrefix(kind, "prefix"):
+		length, err := strconv.Atoi(kind[len("prefix"):])
+		if err != nil || length < 0 || length > 128 {
+			return nil, fmt.Errorf("sampling: bad prefix length in %q", spec)
+		}
+		return ByPrefix(rate, length, seed), nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,202 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/telemetry"
+)
+
+func addrObs(uid uint64, addr string) telemetry.Observation {
+	return telemetry.Observation{UserID: uid, Addr: netaddr.MustParseAddr(addr), Requests: 1}
+}
+
+func TestUserSamplerDeterministicAndComplete(t *testing.T) {
+	s := ByUser(0.1, 42)
+	// Determinism: same user always in or out, regardless of address.
+	for uid := uint64(0); uid < 200; uid++ {
+		a := s.Sampled(addrObs(uid, "10.0.0.1"))
+		b := s.Sampled(addrObs(uid, "2001:db8::1"))
+		c := s.SampledUser(uid)
+		if a != b || b != c {
+			t.Fatalf("user %d inconsistent sampling", uid)
+		}
+	}
+}
+
+func TestUserSamplerRate(t *testing.T) {
+	s := ByUser(0.1, 1)
+	in := 0
+	const n = 100000
+	for uid := uint64(0); uid < n; uid++ {
+		if s.SampledUser(uid) {
+			in++
+		}
+	}
+	got := float64(in) / n
+	if math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("sample rate = %v, want ~0.1", got)
+	}
+	if s.Rate() != 0.1 {
+		t.Fatalf("Rate() = %v", s.Rate())
+	}
+}
+
+func TestUserSamplerSeedsDiffer(t *testing.T) {
+	a, b := ByUser(0.5, 1), ByUser(0.5, 2)
+	same := 0
+	for uid := uint64(0); uid < 1000; uid++ {
+		if a.SampledUser(uid) == b.SampledUser(uid) {
+			same++
+		}
+	}
+	if same > 600 || same < 400 {
+		t.Fatalf("different seeds agree on %d/1000", same)
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	none := ByUser(0, 1)
+	all := ByUser(1, 1)
+	for uid := uint64(1); uid < 100; uid++ {
+		if none.SampledUser(uid) {
+			t.Fatal("rate-0 sampler admitted a user")
+		}
+		if !all.SampledUser(uid) {
+			t.Fatal("rate-1 sampler rejected a user")
+		}
+	}
+}
+
+func TestAddrSampler(t *testing.T) {
+	s := ByAddr(0.2, 7)
+	// Same address, any user: consistent.
+	a := netaddr.MustParseAddr("2001:db8::1")
+	r1 := s.SampledAddr(a)
+	for uid := uint64(0); uid < 50; uid++ {
+		o := telemetry.Observation{UserID: uid, Addr: a}
+		if s.Sampled(o) != r1 {
+			t.Fatal("address sampling depends on user")
+		}
+	}
+	// Rate check over distinct v6 addresses.
+	in, n := 0, 50000
+	for i := 0; i < n; i++ {
+		if s.SampledAddr(netaddr.AddrFrom6(0x20010db8<<32, uint64(i))) {
+			in++
+		}
+	}
+	if got := float64(in) / float64(n); math.Abs(got-0.2) > 0.01 {
+		t.Fatalf("addr sample rate = %v", got)
+	}
+}
+
+func TestPrefixSampler(t *testing.T) {
+	s := ByPrefix(0.25, 64, 3)
+	if s.Length() != 64 {
+		t.Fatalf("Length = %d", s.Length())
+	}
+	// All addresses within one /64 share a fate.
+	base := netaddr.MustParseAddr("2001:db8:1:2::")
+	want := s.Sampled(telemetry.Observation{Addr: base})
+	for i := uint64(1); i < 100; i++ {
+		if s.Sampled(telemetry.Observation{Addr: base.WithIID(i)}) != want {
+			t.Fatal("same /64 sampled inconsistently")
+		}
+	}
+	// Rate over distinct /64s.
+	in, n := 0, 50000
+	for i := 0; i < n; i++ {
+		p := netaddr.MustParsePrefix("2001:db8::/32").Subnet(64, uint64(i))
+		if s.SampledPrefix(p) {
+			in++
+		}
+	}
+	if got := float64(in) / float64(n); math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("prefix sample rate = %v", got)
+	}
+}
+
+func TestPrefixSamplersAtDifferentLengthsIndependent(t *testing.T) {
+	s64 := ByPrefix(0.5, 64, 3)
+	s48 := ByPrefix(0.5, 48, 3)
+	agree := 0
+	for i := 0; i < 1000; i++ {
+		p := netaddr.MustParsePrefix("2001:db8::/32").Subnet(64, uint64(i))
+		a := s64.SampledPrefix(p)
+		b := s48.SampledPrefix(netaddr.PrefixFrom(p.Addr(), 48))
+		if a == b {
+			agree++
+		}
+	}
+	if agree > 950 {
+		t.Fatalf("length-64 and length-48 samplers agree on %d/1000", agree)
+	}
+}
+
+func TestAllSampler(t *testing.T) {
+	var s All
+	if !s.Sampled(telemetry.Observation{}) || s.Rate() != 1 {
+		t.Fatal("All sampler broken")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := ByUser(0.5, 9)
+	passed := 0
+	emit := Filter(s, func(telemetry.Observation) { passed++ })
+	want := 0
+	for uid := uint64(0); uid < 1000; uid++ {
+		o := addrObs(uid, "10.0.0.1")
+		if s.Sampled(o) {
+			want++
+		}
+		emit(o)
+	}
+	if passed != want {
+		t.Fatalf("filter passed %d, want %d", passed, want)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"all", true},
+		{"", true},
+		{"user:0.1", true},
+		{"addr:0.5", true},
+		{"prefix64:0.3", true},
+		{"prefix48:1", true},
+		{"user:1.5", false},
+		{"user:x", false},
+		{"bogus:0.1", false},
+		{"user", false},
+		{"prefix:0.1", false},
+		{"prefixab:0.1", false},
+		{"prefix200:0.1", false},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.spec, 1)
+		if (err == nil) != c.ok {
+			t.Errorf("Parse(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+		}
+		if c.ok && s == nil {
+			t.Errorf("Parse(%q) returned nil sampler", c.spec)
+		}
+	}
+	// Spot-check semantics.
+	s, _ := Parse("user:0.25", 7)
+	if s.Rate() != 0.25 {
+		t.Fatalf("rate = %v", s.Rate())
+	}
+	if _, isUser := s.(*UserSampler); !isUser {
+		t.Fatal("wrong sampler type")
+	}
+	p, _ := Parse("prefix56:0.5", 7)
+	if ps, ok := p.(*PrefixSampler); !ok || ps.Length() != 56 {
+		t.Fatal("prefix sampler wrong")
+	}
+}

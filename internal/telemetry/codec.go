@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/netmodel"
+	"userv6/internal/simtime"
+)
+
+// Binary observation record layout (little endian, fixed 40 bytes):
+//
+//	offset size field
+//	0      4    day (int32)
+//	4      8    user id
+//	12     16   address (16-byte canonical form)
+//	28     1    family (1=IPv4, 2=IPv6)
+//	29     1    abusive flag
+//	30     2    country code
+//	32     4    asn
+//	36     4    requests
+const recordSize = 40
+
+var magic = [4]byte{'u', 'v', '6', 1}
+
+// ErrBadMagic is returned when a stream does not start with the
+// telemetry file signature.
+var ErrBadMagic = errors.New("telemetry: bad file magic")
+
+// Writer streams observations to an io.Writer in the binary format.
+// Close (or Flush) must be called to drain the buffer.
+type Writer struct {
+	bw          *bufio.Writer
+	buf         [recordSize]byte
+	n           uint64
+	wroteHeader bool
+}
+
+// NewWriter returns a Writer wrapping w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one observation.
+func (w *Writer) Write(o Observation) error {
+	if !w.wroteHeader {
+		if _, err := w.bw.Write(magic[:]); err != nil {
+			return fmt.Errorf("telemetry: write header: %w", err)
+		}
+		w.wroteHeader = true
+	}
+	b := w.buf[:]
+	binary.LittleEndian.PutUint32(b[0:], uint32(int32(o.Day)))
+	binary.LittleEndian.PutUint64(b[4:], o.UserID)
+	a16 := o.Addr.As16()
+	copy(b[12:28], a16[:])
+	switch o.Addr.Family() {
+	case netaddr.IPv4:
+		b[28] = 1
+	case netaddr.IPv6:
+		b[28] = 2
+	default:
+		b[28] = 0
+	}
+	if o.Abusive {
+		b[29] = 1
+	} else {
+		b[29] = 0
+	}
+	b[30], b[31] = o.Country[0], o.Country[1]
+	binary.LittleEndian.PutUint32(b[32:], uint32(o.ASN))
+	binary.LittleEndian.PutUint32(b[36:], o.Requests)
+	if _, err := w.bw.Write(b); err != nil {
+		return fmt.Errorf("telemetry: write record: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush drains the internal buffer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams observations from the binary format.
+type Reader struct {
+	br         *bufio.Reader
+	buf        [recordSize]byte
+	readHeader bool
+}
+
+// NewReader returns a Reader wrapping r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next observation, or io.EOF at end of stream.
+func (r *Reader) Read() (Observation, error) {
+	if !r.readHeader {
+		var m [4]byte
+		if _, err := io.ReadFull(r.br, m[:]); err != nil {
+			if err == io.EOF {
+				return Observation{}, io.EOF
+			}
+			return Observation{}, fmt.Errorf("telemetry: read header: %w", err)
+		}
+		if m != magic {
+			return Observation{}, ErrBadMagic
+		}
+		r.readHeader = true
+	}
+	b := r.buf[:]
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		if err == io.EOF {
+			return Observation{}, io.EOF
+		}
+		return Observation{}, fmt.Errorf("telemetry: read record: %w", err)
+	}
+	var o Observation
+	o.Day = simtime.Day(int32(binary.LittleEndian.Uint32(b[0:])))
+	o.UserID = binary.LittleEndian.Uint64(b[4:])
+	var a16 [16]byte
+	copy(a16[:], b[12:28])
+	switch b[28] {
+	case 1:
+		v4 := uint32(a16[12])<<24 | uint32(a16[13])<<16 | uint32(a16[14])<<8 | uint32(a16[15])
+		o.Addr = netaddr.AddrFrom4(v4)
+	case 2:
+		o.Addr = netaddr.AddrFrom16(a16)
+	}
+	o.Abusive = b[29] == 1
+	o.Country[0], o.Country[1] = b[30], b[31]
+	o.ASN = netmodel.ASN(binary.LittleEndian.Uint32(b[32:]))
+	o.Requests = binary.LittleEndian.Uint32(b[36:])
+	return o, nil
+}
+
+// ForEach reads the whole stream, invoking fn per observation.
+func (r *Reader) ForEach(fn EmitFunc) error {
+	for {
+		o, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fn(o)
+	}
+}
+
+// jsonObs is the JSONL wire form, using textual addresses for
+// interoperability with external tooling.
+type jsonObs struct {
+	Day      int    `json:"day"`
+	User     uint64 `json:"user"`
+	Addr     string `json:"addr"`
+	ASN      uint32 `json:"asn"`
+	Country  string `json:"country"`
+	Requests uint32 `json:"requests"`
+	Abusive  bool   `json:"abusive,omitempty"`
+}
+
+// JSONLWriter streams observations as JSON lines.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLWriter returns a JSONLWriter wrapping w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one observation as a JSON line.
+func (w *JSONLWriter) Write(o Observation) error {
+	return w.enc.Encode(jsonObs{
+		Day:      int(o.Day),
+		User:     o.UserID,
+		Addr:     o.Addr.String(),
+		ASN:      uint32(o.ASN),
+		Country:  o.CountryCode(),
+		Requests: o.Requests,
+		Abusive:  o.Abusive,
+	})
+}
+
+// Flush drains the buffer.
+func (w *JSONLWriter) Flush() error { return w.bw.Flush() }
+
+// JSONLReader streams observations from JSON lines.
+type JSONLReader struct {
+	dec *json.Decoder
+}
+
+// NewJSONLReader returns a JSONLReader wrapping r.
+func NewJSONLReader(r io.Reader) *JSONLReader {
+	return &JSONLReader{dec: json.NewDecoder(bufio.NewReaderSize(r, 1<<16))}
+}
+
+// Read returns the next observation, or io.EOF.
+func (r *JSONLReader) Read() (Observation, error) {
+	var j jsonObs
+	if err := r.dec.Decode(&j); err != nil {
+		if err == io.EOF {
+			return Observation{}, io.EOF
+		}
+		return Observation{}, fmt.Errorf("telemetry: decode jsonl: %w", err)
+	}
+	a, err := netaddr.ParseAddr(j.Addr)
+	if err != nil {
+		return Observation{}, fmt.Errorf("telemetry: jsonl addr: %w", err)
+	}
+	o := Observation{
+		Day:      simtime.Day(j.Day),
+		UserID:   j.User,
+		Addr:     a,
+		ASN:      netmodel.ASN(j.ASN),
+		Requests: j.Requests,
+		Abusive:  j.Abusive,
+	}
+	o.SetCountry(j.Country)
+	return o, nil
+}

@@ -1,0 +1,83 @@
+package trie
+
+import "userv6/internal/netaddr"
+
+// Counter counts occurrences per prefix across a fixed set of prefix
+// lengths simultaneously. This is the primitive behind the paper's
+// "users per prefix, for varying prefix sizes" analyses (Figures 9-10):
+// each observed address is attributed to its enclosing prefix at every
+// configured length in one pass.
+//
+// Counter deduplicates nothing by itself — pair it with a per-(prefix,
+// entity) seen-set or a sketch.Distinct when distinct counting is needed.
+type Counter struct {
+	lengths []int
+	tries   []*Trie[uint64]
+}
+
+// NewCounter returns a Counter aggregating at the given prefix lengths.
+// Lengths apply to whichever family an added address belongs to; lengths
+// above a family's bit width are skipped for that family.
+func NewCounter(lengths ...int) *Counter {
+	c := &Counter{lengths: append([]int(nil), lengths...)}
+	c.tries = make([]*Trie[uint64], len(c.lengths))
+	for i := range c.tries {
+		c.tries[i] = New[uint64]()
+	}
+	return c
+}
+
+// Lengths returns the configured prefix lengths.
+func (c *Counter) Lengths() []int { return append([]int(nil), c.lengths...) }
+
+// Add increments the counter for a's enclosing prefix at every configured
+// length valid for a's family, by delta.
+func (c *Counter) Add(a netaddr.Addr, delta uint64) {
+	if !a.IsValid() {
+		return
+	}
+	max := a.Bits()
+	for i, l := range c.lengths {
+		if l > max {
+			continue
+		}
+		c.tries[i].Update(netaddr.PrefixFrom(a, l), func(v *uint64) { *v += delta })
+	}
+}
+
+// Count returns the accumulated count for prefix p, which must use one of
+// the configured lengths (otherwise 0).
+func (c *Counter) Count(p netaddr.Prefix) uint64 {
+	for i, l := range c.lengths {
+		if l == p.Bits() {
+			v, _ := c.tries[i].Get(p)
+			return v
+		}
+	}
+	return 0
+}
+
+// AtLength calls fn for every prefix of the given length with a nonzero
+// count. It is a no-op if the length is not configured.
+func (c *Counter) AtLength(length int, fn func(netaddr.Prefix, uint64)) {
+	for i, l := range c.lengths {
+		if l != length {
+			continue
+		}
+		c.tries[i].Walk(func(p netaddr.Prefix, v uint64) bool {
+			fn(p, v)
+			return true
+		})
+		return
+	}
+}
+
+// LenAt returns the number of distinct prefixes seen at the given length.
+func (c *Counter) LenAt(length int) int {
+	for i, l := range c.lengths {
+		if l == length {
+			return c.tries[i].Len()
+		}
+	}
+	return 0
+}

@@ -1,0 +1,38 @@
+package trie
+
+import "userv6/internal/netaddr"
+
+// Rollup computes, from a trie of per-prefix counts, the aggregate count
+// of every ancestor prefix at a set of shorter lengths — the classic
+// prefix-aggregation operation ("users per /64 from users per /128")
+// done in one walk instead of re-scanning the raw stream per length.
+//
+// Counts at a target length are the sums of all stored counts at longer
+// (more specific) prefixes beneath it; a stored count exactly at a
+// target length contributes to that length too.
+func Rollup(src *Trie[uint64], lengths ...int) *Counter {
+	out := NewCounter(lengths...)
+	src.Walk(func(p netaddr.Prefix, v uint64) bool {
+		for _, l := range lengths {
+			if l > p.Bits() {
+				continue
+			}
+			out.tries[indexOfLength(out, l)].Update(
+				netaddr.PrefixFrom(p.Addr(), l),
+				func(c *uint64) { *c += v },
+			)
+		}
+		return true
+	})
+	return out
+}
+
+// indexOfLength locates a configured length's trie index.
+func indexOfLength(c *Counter, length int) int {
+	for i, l := range c.lengths {
+		if l == length {
+			return i
+		}
+	}
+	return -1
+}

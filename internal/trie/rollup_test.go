@@ -1,0 +1,91 @@
+package trie
+
+import (
+	"testing"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/rng"
+)
+
+func TestRollupBasic(t *testing.T) {
+	src := New[uint64]()
+	// Three /128 counts inside one /64, one in another /64 of the same
+	// /48.
+	base := addr("2001:db8:0:1::")
+	src.Set(netaddr.PrefixFrom(base.WithIID(1), 128), 2)
+	src.Set(netaddr.PrefixFrom(base.WithIID(2), 128), 3)
+	src.Set(netaddr.PrefixFrom(base.WithIID(3), 128), 5)
+	src.Set(netaddr.PrefixFrom(addr("2001:db8:0:2::9"), 128), 7)
+
+	c := Rollup(src, 48, 64)
+	if got := c.Count(pfx("2001:db8:0:1::/64")); got != 10 {
+		t.Fatalf("/64 rollup = %d, want 10", got)
+	}
+	if got := c.Count(pfx("2001:db8:0:2::/64")); got != 7 {
+		t.Fatalf("second /64 = %d", got)
+	}
+	if got := c.Count(pfx("2001:db8::/48")); got != 17 {
+		t.Fatalf("/48 rollup = %d, want 17", got)
+	}
+	if c.LenAt(64) != 2 || c.LenAt(48) != 1 {
+		t.Fatalf("prefix counts: /64=%d /48=%d", c.LenAt(64), c.LenAt(48))
+	}
+}
+
+func TestRollupSkipsShorterEntries(t *testing.T) {
+	src := New[uint64]()
+	src.Set(pfx("2001:db8::/32"), 100) // shorter than the target length
+	src.Set(netaddr.PrefixFrom(addr("2001:db8::1"), 128), 1)
+	c := Rollup(src, 64)
+	if got := c.Count(pfx("2001:db8::/64")); got != 1 {
+		t.Fatalf("/64 = %d: /32 entry must not contribute to /64", got)
+	}
+}
+
+func TestRollupEntryAtTargetLength(t *testing.T) {
+	src := New[uint64]()
+	src.Set(pfx("2001:db8:0:1::/64"), 4)
+	src.Set(netaddr.PrefixFrom(addr("2001:db8:0:1::7"), 128), 1)
+	c := Rollup(src, 64)
+	if got := c.Count(pfx("2001:db8:0:1::/64")); got != 5 {
+		t.Fatalf("/64 = %d, want 5 (own entry + child)", got)
+	}
+}
+
+// Property: rolling up per-/128 counts agrees with Counter fed the same
+// addresses directly.
+func TestRollupMatchesCounter(t *testing.T) {
+	src := rng.New(55)
+	perAddr := New[uint64]()
+	direct := NewCounter(48, 64, 96)
+	for i := 0; i < 5000; i++ {
+		a := netaddr.AddrFrom6(0x2400<<48|uint64(src.Intn(64)), uint64(src.Intn(4096)))
+		delta := uint64(1 + src.Intn(3))
+		perAddr.Update(netaddr.PrefixFrom(a, 128), func(v *uint64) { *v += delta })
+		direct.Add(a, delta)
+	}
+	rolled := Rollup(perAddr, 48, 64, 96)
+	for _, l := range []int{48, 64, 96} {
+		if rolled.LenAt(l) != direct.LenAt(l) {
+			t.Fatalf("/%d prefix counts differ: %d vs %d", l, rolled.LenAt(l), direct.LenAt(l))
+		}
+		direct.AtLength(l, func(p netaddr.Prefix, want uint64) {
+			if got := rolled.Count(p); got != want {
+				t.Fatalf("%s: rollup %d vs direct %d", p, got, want)
+			}
+		})
+	}
+}
+
+func BenchmarkRollup(b *testing.B) {
+	src := rng.New(1)
+	perAddr := New[uint64]()
+	for i := 0; i < 20000; i++ {
+		a := netaddr.AddrFrom6(0x2400<<48|src.Uint64()%1024, src.Uint64())
+		perAddr.Update(netaddr.PrefixFrom(a, 128), func(v *uint64) { *v++ })
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Rollup(perAddr, 48, 64)
+	}
+}

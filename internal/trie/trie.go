@@ -1,0 +1,263 @@
+// Package trie implements a binary (bit-at-a-time) prefix trie over IP
+// addresses and prefixes, the aggregation substrate for the IP-centric
+// analyses: counting distinct entities per prefix at every length,
+// longest-prefix match for policy lookup, and subtree walks for reporting.
+//
+// A Trie is generic over its node payload. The zero Trie is empty and
+// ready to use. Tries are not safe for concurrent mutation; analyzers
+// shard by family and merge.
+package trie
+
+import (
+	"fmt"
+
+	"userv6/internal/netaddr"
+)
+
+// node is a binary trie node. Payloads live only on nodes that were
+// explicitly inserted (term == true); internal nodes exist solely for
+// routing. Children are indexed by the next address bit.
+type node[V any] struct {
+	child [2]*node[V]
+	value V
+	term  bool
+}
+
+// Trie maps prefixes to values of type V. Distinct prefix lengths of the
+// same address are distinct keys, as in a routing table.
+type Trie[V any] struct {
+	root4, root6 *node[V]
+	len          int
+}
+
+// New returns an empty trie. The zero value is also usable.
+func New[V any]() *Trie[V] { return &Trie[V]{} }
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.len }
+
+func (t *Trie[V]) rootFor(f netaddr.Family, create bool) **node[V] {
+	switch f {
+	case netaddr.IPv4:
+		if t.root4 == nil && create {
+			t.root4 = &node[V]{}
+		}
+		return &t.root4
+	case netaddr.IPv6:
+		if t.root6 == nil && create {
+			t.root6 = &node[V]{}
+		}
+		return &t.root6
+	default:
+		return nil
+	}
+}
+
+// Set stores value at prefix p, replacing any existing value.
+func (t *Trie[V]) Set(p netaddr.Prefix, value V) {
+	if !p.IsValid() {
+		return
+	}
+	rp := t.rootFor(p.Family(), true)
+	n := *rp
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		b := a.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.term {
+		t.len++
+	}
+	n.term = true
+	n.value = value
+}
+
+// Get returns the value stored exactly at p.
+func (t *Trie[V]) Get(p netaddr.Prefix) (V, bool) {
+	var zero V
+	if !p.IsValid() {
+		return zero, false
+	}
+	rp := t.rootFor(p.Family(), false)
+	if rp == nil || *rp == nil {
+		return zero, false
+	}
+	n := *rp
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[a.Bit(i)]
+		if n == nil {
+			return zero, false
+		}
+	}
+	if !n.term {
+		return zero, false
+	}
+	return n.value, true
+}
+
+// Update applies fn to the value at p, inserting the zero value first if p
+// is absent. It is the workhorse for counter aggregation:
+//
+//	t.Update(p, func(c *int) { *c++ })
+func (t *Trie[V]) Update(p netaddr.Prefix, fn func(*V)) {
+	if !p.IsValid() {
+		return
+	}
+	rp := t.rootFor(p.Family(), true)
+	n := *rp
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		b := a.Bit(i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.term {
+		n.term = true
+		t.len++
+	}
+	fn(&n.value)
+}
+
+// Delete removes the value at p, reporting whether it was present.
+// Emptied branches are left in place; call Compact to reclaim them after
+// bulk deletions.
+func (t *Trie[V]) Delete(p netaddr.Prefix) bool {
+	if !p.IsValid() {
+		return false
+	}
+	rp := t.rootFor(p.Family(), false)
+	if rp == nil || *rp == nil {
+		return false
+	}
+	n := *rp
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[a.Bit(i)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.term {
+		return false
+	}
+	n.term = false
+	var zero V
+	n.value = zero
+	t.len--
+	return true
+}
+
+// Compact prunes branches that contain no stored prefixes.
+func (t *Trie[V]) Compact() {
+	t.root4 = compact(t.root4)
+	t.root6 = compact(t.root6)
+}
+
+func compact[V any](n *node[V]) *node[V] {
+	if n == nil {
+		return nil
+	}
+	n.child[0] = compact(n.child[0])
+	n.child[1] = compact(n.child[1])
+	if !n.term && n.child[0] == nil && n.child[1] == nil {
+		return nil
+	}
+	return n
+}
+
+// Lookup returns the value of the longest stored prefix containing a,
+// its prefix, and whether any match exists.
+func (t *Trie[V]) Lookup(a netaddr.Addr) (netaddr.Prefix, V, bool) {
+	var (
+		zero  V
+		bestV V
+		bestL = -1
+	)
+	if !a.IsValid() {
+		return netaddr.Prefix{}, zero, false
+	}
+	rp := t.rootFor(a.Family(), false)
+	if rp == nil || *rp == nil {
+		return netaddr.Prefix{}, zero, false
+	}
+	n := *rp
+	if n.term {
+		bestV, bestL = n.value, 0
+	}
+	bits := a.Bits()
+	for i := 0; i < bits; i++ {
+		n = n.child[a.Bit(i)]
+		if n == nil {
+			break
+		}
+		if n.term {
+			bestV, bestL = n.value, i+1
+		}
+	}
+	if bestL < 0 {
+		return netaddr.Prefix{}, zero, false
+	}
+	return netaddr.PrefixFrom(a, bestL), bestV, true
+}
+
+// Walk visits every stored prefix in address order (IPv4 first, then
+// IPv6), calling fn with the prefix and its value. Returning false from
+// fn stops the walk early.
+func (t *Trie[V]) Walk(fn func(netaddr.Prefix, V) bool) {
+	var w walker[V]
+	w.fn = fn
+	if t.root4 != nil {
+		w.walk(t.root4, netaddr.MustParseAddr("0.0.0.0"), 0)
+	}
+	if !w.stopped && t.root6 != nil {
+		w.walk(t.root6, netaddr.MustParseAddr("::"), 0)
+	}
+}
+
+type walker[V any] struct {
+	fn      func(netaddr.Prefix, V) bool
+	stopped bool
+}
+
+func (w *walker[V]) walk(n *node[V], base netaddr.Addr, depth int) {
+	if w.stopped {
+		return
+	}
+	if n.term {
+		if !w.fn(netaddr.PrefixFrom(base, depth), n.value) {
+			w.stopped = true
+			return
+		}
+	}
+	if n.child[0] != nil {
+		w.walk(n.child[0], base, depth+1)
+	}
+	if n.child[1] != nil {
+		w.walk(n.child[1], setBit(base, depth), depth+1)
+	}
+}
+
+// setBit returns base with bit i (0 = most significant) set.
+func setBit(a netaddr.Addr, i int) netaddr.Addr {
+	hi, lo := a.Words()
+	if a.Is4() {
+		return netaddr.AddrFrom4(uint32(lo) | 1<<(31-i))
+	}
+	if i < 64 {
+		hi |= 1 << (63 - i)
+	} else {
+		lo |= 1 << (127 - i)
+	}
+	return netaddr.AddrFrom6(hi, lo)
+}
+
+// String summarizes the trie for debugging.
+func (t *Trie[V]) String() string {
+	return fmt.Sprintf("trie.Trie{len=%d}", t.len)
+}

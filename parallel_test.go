@@ -1,0 +1,123 @@
+package userv6
+
+import (
+	"testing"
+
+	"userv6/internal/core"
+	"userv6/internal/netaddr"
+	"userv6/internal/telemetry"
+)
+
+// TestParallelMatchesSerial: sharded generation + merge must reproduce
+// the serial analysis exactly.
+func TestParallelMatchesSerial(t *testing.T) {
+	sim := NewSim(DefaultScenario(3_000))
+
+	serial := sim.Fig2()
+	parallel := sim.Fig2Parallel(4)
+
+	if serial.Entities != parallel.Entities {
+		t.Fatalf("entities: serial %d vs parallel %d", serial.Entities, parallel.Entities)
+	}
+	for v := 0; v <= 30; v++ {
+		if serial.WeekV6.CDFAt(v) != parallel.WeekV6.CDFAt(v) {
+			t.Fatalf("week v6 CDF differs at %d: %v vs %v",
+				v, serial.WeekV6.CDFAt(v), parallel.WeekV6.CDFAt(v))
+		}
+		if serial.WeekV4.CDFAt(v) != parallel.WeekV4.CDFAt(v) {
+			t.Fatalf("week v4 CDF differs at %d", v)
+		}
+		if serial.DayV6.CDFAt(v) != parallel.DayV6.CDFAt(v) {
+			t.Fatalf("day v6 CDF differs at %d", v)
+		}
+	}
+}
+
+func TestIPCentricParallelMatchesSerial(t *testing.T) {
+	sim := NewSim(DefaultScenario(3_000))
+	from, to := AnalysisWeek()
+
+	serial := core.NewIPCentric(netaddr.IPv6, 64)
+	sim.Generate(from, to, serial.Observe)
+
+	parallel := sim.IPCentricParallel(netaddr.IPv6, 64, 3)
+
+	if serial.Prefixes() != parallel.Prefixes() {
+		t.Fatalf("prefixes: %d vs %d", serial.Prefixes(), parallel.Prefixes())
+	}
+	sh, ph := serial.UsersPerPrefix(), parallel.UsersPerPrefix()
+	if sh.N() != ph.N() || sh.Max() != ph.Max() {
+		t.Fatalf("hist N/max differ: %d/%d vs %d/%d", sh.N(), sh.Max(), ph.N(), ph.Max())
+	}
+	for v := 0; v <= 20; v++ {
+		if sh.CDFAt(v) != ph.CDFAt(v) {
+			t.Fatalf("CDF differs at %d", v)
+		}
+	}
+	sa, pa := serial.AbusivePerAbusivePrefix(), parallel.AbusivePerAbusivePrefix()
+	if sa.N() != pa.N() {
+		t.Fatalf("abusive prefixes: %d vs %d", sa.N(), pa.N())
+	}
+}
+
+func TestGenerateParallelCoversAllUsers(t *testing.T) {
+	sim := NewSim(DefaultScenario(1_000))
+	seen := make([]map[uint64]bool, 0)
+	var serialCount int
+	sim.Benign.GenerateDay(84, func(telemetry.Observation) { serialCount++ })
+
+	total := 0
+	sim.GenerateParallel(84, 84, 5, func() telemetry.EmitFunc {
+		m := make(map[uint64]bool)
+		seen = append(seen, m)
+		return func(o telemetry.Observation) {
+			m[o.UserID] = true
+			total++
+		}
+	})
+	if total != serialCount {
+		t.Fatalf("parallel emitted %d observations, serial %d", total, serialCount)
+	}
+	// Shards are disjoint.
+	union := make(map[uint64]bool)
+	sum := 0
+	for _, m := range seen {
+		sum += len(m)
+		for uid := range m {
+			union[uid] = true
+		}
+	}
+	if sum != len(union) {
+		t.Fatalf("shards overlap: %d vs %d distinct", sum, len(union))
+	}
+}
+
+func TestUserCentricMerge(t *testing.T) {
+	a := core.NewUserCentricFor(false)
+	b := core.NewUserCentricFor(false)
+	o1 := telemetry.Observation{UserID: 1, Addr: netaddr.MustParseAddr("2001:db8::1"), Requests: 1}
+	o2 := telemetry.Observation{UserID: 1, Addr: netaddr.MustParseAddr("2001:db8::2"), Requests: 1}
+	o3 := telemetry.Observation{UserID: 2, Addr: netaddr.MustParseAddr("10.0.0.1"), Requests: 1}
+	a.Observe(o1)
+	b.Observe(o2)
+	b.Observe(o1) // overlap: must not double-count
+	b.Observe(o3)
+	a.Merge(b)
+	if a.Users() != 2 {
+		t.Fatalf("users = %d", a.Users())
+	}
+	h := a.AddrsPerUser(netaddr.IPv6)
+	if h.N() != 1 || h.Max() != 2 {
+		t.Fatalf("v6 hist N=%d max=%d", h.N(), h.Max())
+	}
+	if a.AddrsPerUser(netaddr.IPv4).N() != 1 {
+		t.Fatal("v4 user lost in merge")
+	}
+}
+
+func BenchmarkFig2Parallel(b *testing.B) {
+	sim := getBenchSim()
+	for i := 0; i < b.N; i++ {
+		_ = sim.Fig2Parallel(0)
+	}
+}

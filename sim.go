@@ -1,0 +1,66 @@
+package userv6
+
+import (
+	"userv6/internal/abuse"
+	"userv6/internal/netmodel"
+	"userv6/internal/population"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+// Sim is a materialized simulation: the constructed world, synthesized
+// population, and the benign and abusive telemetry generators. A Sim is
+// deterministic: two Sims from equal Scenarios produce identical
+// telemetry. Sims are safe for concurrent readers once constructed.
+type Sim struct {
+	Scenario Scenario
+	World    *netmodel.World
+	Pop      *population.Population
+	Benign   *telemetry.Generator
+	Abusive  *abuse.Generator
+}
+
+// NewSim builds the simulation from a scenario.
+func NewSim(sc Scenario) *Sim {
+	world := netmodel.BuildWorld(sc.worldConfig())
+
+	pcfg := sc.Population
+	pcfg.Seed = sc.Seed
+	pcfg.Users = sc.Users
+	pop := population.Synthesize(world, pcfg)
+
+	acfg := sc.Abuse
+	acfg.Seed = sc.Seed
+	if !sc.AbuseUnscaled {
+		acfg.AccountsPerDay = int(float64(acfg.AccountsPerDay) * sc.Scale())
+		if acfg.AccountsPerDay < 8 {
+			acfg.AccountsPerDay = 8
+		}
+	}
+
+	return &Sim{
+		Scenario: sc,
+		World:    world,
+		Pop:      pop,
+		Benign:   telemetry.NewGenerator(pop, sc.Seed),
+		Abusive:  abuse.NewGenerator(world, acfg),
+	}
+}
+
+// Generate streams the merged benign + abusive telemetry for days
+// [from, to] inclusive: first benign users, then abusive accounts, both
+// in deterministic order.
+func (s *Sim) Generate(from, to simtime.Day, emit telemetry.EmitFunc) {
+	s.Benign.Generate(from, to, emit)
+	s.Abusive.Generate(from, to, emit)
+}
+
+// GenerateDay streams one day of merged telemetry.
+func (s *Sim) GenerateDay(day simtime.Day, emit telemetry.EmitFunc) {
+	s.Generate(day, day, emit)
+}
+
+// AnalysisWeek returns the Apr 13-19 window most analyses run on.
+func AnalysisWeek() (from, to simtime.Day) {
+	return simtime.AnalysisWeekStart, simtime.AnalysisWeekEnd
+}
