@@ -1,0 +1,38 @@
+GO ?= go
+FUZZTIME ?= 10s
+FUZZ_TARGETS = \
+	./internal/telemetry:FuzzReader \
+	./internal/telemetry:FuzzSalvage \
+	./internal/dataset:FuzzDatasetOpen \
+	./internal/dataset:FuzzDatasetRoundTrip
+
+.PHONY: all build vet test race fuzz-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short native-fuzz smoke over every decoder fuzz target: catches
+# panics and typed-error regressions without a long campaign.
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "fuzz $$fn ($$pkg, $(FUZZTIME))"; \
+		$(GO) test $$pkg -run='^$$' -fuzz="^$$fn$$" -fuzztime=$(FUZZTIME); \
+	done
+
+ci: vet build race fuzz-smoke
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/telemetry/testdata/fuzz internal/dataset/testdata/fuzz

@@ -8,12 +8,23 @@
 //	userv6gen gen  -users 20000 -from 81 -to 87 -format binary -o week.uv6
 //	userv6gen info -i week.uv6
 //	userv6gen analyze -i week.uv6
+//	userv6gen verify -i week.uv6
+//	userv6gen salvage -i torn.uv6.tmp -o recovered.uv6
+//
+// gen finalizes a valid dataset file even when interrupted by SIGINT or
+// SIGTERM; verify (alias: scan) checks block checksums and reports how
+// many records a salvage pass would recover; salvage rewrites every
+// intact record of a damaged file into a fresh dataset.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"userv6"
 	"userv6/internal/core"
@@ -37,18 +48,37 @@ func main() {
 		runInfo(args)
 	case "analyze":
 		runAnalyze(args)
+	case "verify", "scan":
+		runVerify(args)
+	case "salvage":
+		runSalvage(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: userv6gen <gen|info|analyze> [flags]
+	fmt.Fprintln(os.Stderr, `usage: userv6gen <gen|info|analyze|verify|salvage> [flags]
 
   gen      generate a telemetry dataset file
   info     summarize a dataset file
-  analyze  run the user/IP-centric analyzers over a dataset file`)
+  analyze  run the user/IP-centric analyzers over a dataset file
+  verify   check dataset integrity (block checksums, record counts)
+  salvage  recover intact records from a damaged dataset into a new file`)
 	os.Exit(2)
+}
+
+// inputArg lets read-style subcommands take the input path positionally
+// (`userv6gen verify week.uv6`) as well as via -i; a silently ignored
+// positional would otherwise fall through to the default path.
+func inputArg(fs *flag.FlagSet, in *string) {
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		*in = fs.Arg(0)
+	default:
+		fatal(fmt.Errorf("%s: at most one input path, got %q", fs.Name(), fs.Args()))
+	}
 }
 
 func runGen(args []string) {
@@ -68,7 +98,21 @@ func runGen(args []string) {
 		fatal(err)
 	}
 
+	// A SIGINT/SIGTERM cancels generation at the next (user, day) batch;
+	// the writer then finalizes, so an interrupted run still leaves a
+	// valid, verifiable dataset holding everything generated so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	sim := userv6.NewSim(userv6.DefaultScenario(*users).WithSeed(*seed))
+
+	generate := func(emit telemetry.EmitFunc) error {
+		emit = sampling.Filter(sampler, emit)
+		if *benignOnly {
+			return sim.Benign.GenerateCtx(ctx, simtime.Day(*from), simtime.Day(*to), emit)
+		}
+		return sim.GenerateCtx(ctx, simtime.Day(*from), simtime.Day(*to), emit)
+	}
 
 	if *format == "dataset" {
 		meta := dataset.Meta{
@@ -80,19 +124,24 @@ func runGen(args []string) {
 			fatal(err)
 		}
 		emit, errp := w.Emit()
-		emit = sampling.Filter(sampler, emit)
-		if *benignOnly {
-			sim.Benign.Generate(simtime.Day(*from), simtime.Day(*to), emit)
-		} else {
-			sim.Generate(simtime.Day(*from), simtime.Day(*to), emit)
-		}
+		genErr := generate(emit)
 		if *errp != nil {
+			w.Abort()
 			fatal(*errp)
+		}
+		if genErr != nil && !errors.Is(genErr, context.Canceled) {
+			w.Abort()
+			fatal(genErr)
 		}
 		if err := w.Close(); err != nil {
 			fatal(err)
 		}
 		st, _ := os.Stat(*out)
+		if genErr != nil {
+			fmt.Printf("interrupted: finalized partial dataset (%d users, days %d-%d) at %s (%d bytes)\n",
+				*users, *from, *to, *out, st.Size())
+			return
+		}
 		fmt.Printf("wrote dataset (%d users, days %d-%d) to %s (%d bytes)\n",
 			*users, *from, *to, *out, st.Size())
 		return
@@ -108,7 +157,7 @@ func runGen(args []string) {
 	var flush func() error
 	switch *format {
 	case "binary":
-		w := telemetry.NewWriter(f)
+		w := telemetry.NewWriterV2(f)
 		write, flush = w.Write, w.Flush
 	case "jsonl":
 		w := telemetry.NewJSONLWriter(f)
@@ -118,30 +167,125 @@ func runGen(args []string) {
 	}
 
 	n := 0
-	var emit telemetry.EmitFunc = func(o telemetry.Observation) {
+	genErr := generate(func(o telemetry.Observation) {
 		if err := write(o); err != nil {
 			fatal(err)
 		}
 		n++
-	}
-	emit = sampling.Filter(sampler, emit)
-	if *benignOnly {
-		sim.Benign.Generate(simtime.Day(*from), simtime.Day(*to), emit)
-	} else {
-		sim.Generate(simtime.Day(*from), simtime.Day(*to), emit)
+	})
+	if genErr != nil && !errors.Is(genErr, context.Canceled) {
+		fatal(genErr)
 	}
 	if err := flush(); err != nil {
 		fatal(err)
 	}
 	st, _ := f.Stat()
-	fmt.Printf("wrote %d observations (%d users, days %d-%d, %s) to %s (%d bytes)\n",
-		n, *users, *from, *to, *format, *out, st.Size())
+	note := ""
+	if genErr != nil {
+		note = " [interrupted]"
+	}
+	fmt.Printf("wrote %d observations (%d users, days %d-%d, %s) to %s (%d bytes)%s\n",
+		n, *users, *from, *to, *format, *out, st.Size(), note)
+}
+
+// runVerify checks a dataset (or raw stream) file end to end: header
+// parse, per-block checksums, and header-vs-stream record counts. Exit
+// status 0 means intact; 1 means damaged (the report shows what a
+// salvage pass would recover).
+func runVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("i", "telemetry.uv6", "input path (dataset or binary stream)")
+	fs.Parse(args)
+	inputArg(fs, in)
+
+	rep, err := dataset.Scan(*in)
+	if err != nil {
+		fatal(err)
+	}
+	printScanReport(rep)
+	if !rep.Intact() {
+		os.Exit(1)
+	}
+}
+
+func printScanReport(rep dataset.ScanReport) {
+	t := report.NewTable("check", "result")
+	switch {
+	case rep.Raw:
+		t.Row("header", "none (raw telemetry stream)")
+	case rep.HeaderOK:
+		m := rep.Meta
+		t.Row("header", "ok").
+			Row("header format", formatName(m.Format)).
+			Row("header complete", m.Complete).
+			Row("header records", m.Records)
+	default:
+		t.Row("header", "CORRUPT (unparseable)")
+	}
+	if rep.StreamErr != "" {
+		t.Row("stream", "UNRECOGNIZABLE: "+rep.StreamErr)
+	} else {
+		t.Row("stream version", rep.Stream.Version).
+			Row("intact blocks", rep.Stream.Blocks).
+			Row("corrupt blocks", rep.Stream.CorruptBlocks).
+			Row("salvageable records", rep.Stream.Records).
+			Row("skipped bytes", rep.Stream.SkippedBytes)
+	}
+	verdict := "INTACT"
+	if !rep.Intact() {
+		verdict = "DAMAGED (run `userv6gen salvage` to recover intact records)"
+	}
+	t.Row("verdict", verdict).Write(os.Stdout)
+}
+
+func formatName(f int) string {
+	if f >= dataset.FormatV2 {
+		return fmt.Sprintf("v%d (framed, checksummed)", f)
+	}
+	return "v1 (legacy, unframed)"
+}
+
+// runSalvage recovers every intact record from a damaged or interrupted
+// dataset into a fresh, complete v2 dataset file.
+func runSalvage(args []string) {
+	fs := flag.NewFlagSet("salvage", flag.ExitOnError)
+	in := fs.String("i", "telemetry.uv6", "input path (possibly damaged)")
+	out := fs.String("o", "recovered.uv6", "output path for the recovered dataset")
+	fs.Parse(args)
+	inputArg(fs, in)
+
+	scan, err := dataset.Scan(*in)
+	if err != nil {
+		fatal(err)
+	}
+	meta := scan.Meta // zero Meta when the header was lost: still salvageable
+	w, err := dataset.Create(*out, meta)
+	if err != nil {
+		fatal(err)
+	}
+	emit, errp := w.Emit()
+	rep, err := dataset.Salvage(*in, emit)
+	if err != nil {
+		w.Abort()
+		fatal(err)
+	}
+	if *errp != nil {
+		w.Abort()
+		fatal(*errp)
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("salvaged %d records (%d intact blocks, %d corrupt, %d bytes skipped) from %s to %s\n",
+		rep.Stream.Records, rep.Stream.Blocks, rep.Stream.CorruptBlocks,
+		rep.Stream.SkippedBytes, *in, *out)
 }
 
 func runInfo(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "telemetry.uv6", "input path (binary format)")
 	fs.Parse(args)
+	inputArg(fs, in)
 
 	r := openReader(*in)
 	var (
@@ -187,6 +331,7 @@ func runAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	in := fs.String("i", "telemetry.uv6", "input path (binary format)")
 	fs.Parse(args)
+	inputArg(fs, in)
 
 	r := openReader(*in)
 	uc := core.NewUserCentricFor(false)

@@ -51,6 +51,17 @@ func main() {
 	st, _ := os.Stat(path)
 	fmt.Printf("step 1: wrote %s (%d KiB)\n", filepath.Base(path), st.Size()/1024)
 
+	// Step 1b: verify integrity before shipping the file anywhere. Scan
+	// walks every block checksum without extracting records — the same
+	// check `userv6gen verify` runs, and what a consumer should do on
+	// receipt before trusting a dataset.
+	rep, err := dataset.Scan(path)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("step 1b: verified %d blocks, %d records, intact=%v\n",
+		rep.Stream.Blocks, rep.Stream.Records, rep.Intact())
+
 	// Step 2: reopen and analyze — no simulator involved from here on.
 	r, err := dataset.Open(path)
 	if err != nil {

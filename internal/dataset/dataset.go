@@ -4,12 +4,19 @@
 // (cmd/userv6gen) and offline analysis — the stand-in for the paper's
 // "random sample datasets".
 //
-// File layout: a one-line JSON header terminated by '\n', followed by
-// the binary telemetry stream (telemetry.Writer format).
+// File layout: a one-line JSON header padded to a fixed 256 bytes and
+// terminated by '\n', followed by the binary telemetry stream. New
+// files use the framed, checksummed v2 stream (telemetry.WriterV2) and
+// are written crash-safely: records go to a temporary file alongside
+// the target, the header is re-flushed periodically so an interrupted
+// run is salvageable, and Close fsyncs and renames so readers only ever
+// observe complete files. Legacy v1 files (unframed stream, no format
+// field in the header) remain fully readable. See docs/DATASET_FORMAT.md.
 package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +25,11 @@ import (
 	"userv6/internal/simtime"
 	"userv6/internal/telemetry"
 )
+
+// FormatV2 is the current on-disk format: framed record blocks with
+// per-block CRC32C checksums. Legacy files carry no format field and
+// report Format 0.
+const FormatV2 = 2
 
 // Meta describes a dataset.
 type Meta struct {
@@ -29,10 +41,18 @@ type Meta struct {
 	ToDay   int `json:"to_day"`
 	// Sample describes the applied sampler ("all", "user:0.1", ...).
 	Sample string `json:"sample"`
-	// Records is filled at Close time.
+	// Records is filled at Close time (and refreshed periodically while
+	// writing, so a torn file reports recent progress).
 	Records uint64 `json:"records"`
 	// BenignOnly marks datasets without abusive traffic.
 	BenignOnly bool `json:"benign_only,omitempty"`
+	// Format is the stream format version (FormatV2 for new files;
+	// zero for legacy v1 files).
+	Format int `json:"format,omitempty"`
+	// Complete is set when the writer finalized the file. A file with
+	// Complete false was interrupted mid-write and may hold fewer
+	// records than a finished run would have.
+	Complete bool `json:"complete,omitempty"`
 }
 
 // Window returns the day range as simtime values.
@@ -40,31 +60,53 @@ func (m Meta) Window() (from, to simtime.Day) {
 	return simtime.Day(m.FromDay), simtime.Day(m.ToDay)
 }
 
-// Writer writes a dataset file.
+// headerFlushEvery is the record interval between mid-write header
+// refreshes (variable so tests can force frequent flushes).
+var headerFlushEvery = 1 << 16
+
+// Writer writes a dataset file crash-safely: records stream to
+// path+".tmp" and Close atomically renames the finished file into
+// place, so a crash never leaves a half-written file at the target
+// path (the temp file it leaves is salvageable with Salvage).
 type Writer struct {
-	f    *os.File
-	tw   *telemetry.Writer
-	meta Meta
+	f          *os.File
+	tw         *telemetry.WriterV2
+	meta       Meta
+	path       string
+	tmpPath    string
+	sinceFlush int
 }
 
-// Create opens path for writing with the given metadata. The record
-// count in the header is finalized by Close (the header is rewritten).
+// Create opens path for writing with the given metadata. Records
+// accumulate in a temporary file next to path until Close finalizes
+// and renames it into place.
 func Create(path string, meta Meta) (*Writer, error) {
-	f, err := os.Create(path)
+	meta.Format = FormatV2
+	meta.Complete = false
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: create: %w", err)
 	}
-	w := &Writer{f: f, meta: meta}
+	w := &Writer{f: f, meta: meta, path: path, tmpPath: tmp}
 	if err := w.writeHeader(); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return nil, err
 	}
-	w.tw = telemetry.NewWriter(f)
+	// Position the stream just past the header; later header refreshes
+	// use WriteAt and do not disturb the append offset.
+	if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("dataset: seek: %w", err)
+	}
+	w.tw = telemetry.NewWriterV2(f)
 	return w, nil
 }
 
 // headerSize is the fixed on-disk header length: the JSON line is padded
-// with spaces so Close can rewrite it in place with the final count.
+// with spaces so the header can be rewritten in place as counts grow.
 const headerSize = 256
 
 func (w *Writer) writeHeader() error {
@@ -84,15 +126,32 @@ func (w *Writer) writeHeader() error {
 	if _, err := w.f.WriteAt(buf, 0); err != nil {
 		return fmt.Errorf("dataset: write header: %w", err)
 	}
-	if _, err := w.f.Seek(headerSize, io.SeekStart); err != nil {
-		return fmt.Errorf("dataset: seek: %w", err)
-	}
 	return nil
 }
 
-// Write appends one observation.
+// Path returns the final path the dataset will occupy after Close.
+func (w *Writer) Path() string { return w.path }
+
+// Write appends one observation. Every headerFlushEvery records the
+// stream is flushed and the header refreshed with the running count, so
+// an interrupted run leaves a salvageable temp file with honest
+// progress metadata.
 func (w *Writer) Write(o telemetry.Observation) error {
-	return w.tw.Write(o)
+	if err := w.tw.Write(o); err != nil {
+		return err
+	}
+	w.sinceFlush++
+	if w.sinceFlush >= headerFlushEvery {
+		w.sinceFlush = 0
+		if err := w.tw.Flush(); err != nil {
+			return err
+		}
+		w.meta.Records = w.tw.Count()
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Emit adapts Write to a telemetry.EmitFunc, recording the first error.
@@ -105,22 +164,52 @@ func (w *Writer) Emit() (telemetry.EmitFunc, *error) {
 	}, &firstErr
 }
 
-// Close flushes the stream, rewrites the header with the final record
-// count, and closes the file.
+// Close flushes the stream, writes the final header (record count,
+// Complete flag), fsyncs, and renames the temp file to the target path.
+// On error the temp file is removed; the target path is never touched
+// until the file is complete and durable.
 func (w *Writer) Close() error {
-	if err := w.tw.Flush(); err != nil {
+	if err := w.finalize(); err != nil {
 		w.f.Close()
+		os.Remove(w.tmpPath)
+		return err
+	}
+	return nil
+}
+
+func (w *Writer) finalize() error {
+	if err := w.tw.Flush(); err != nil {
 		return err
 	}
 	w.meta.Records = w.tw.Count()
+	w.meta.Complete = true
 	if err := w.writeHeader(); err != nil {
-		w.f.Close()
 		return err
 	}
-	return w.f.Close()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("dataset: sync: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("dataset: close: %w", err)
+	}
+	if err := os.Rename(w.tmpPath, w.path); err != nil {
+		return fmt.Errorf("dataset: rename: %w", err)
+	}
+	return nil
 }
 
-// Reader reads a dataset file.
+// Abort discards the in-progress dataset, removing the temp file and
+// leaving the target path untouched.
+func (w *Writer) Abort() error {
+	w.f.Close()
+	if err := os.Remove(w.tmpPath); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("dataset: abort: %w", err)
+	}
+	return nil
+}
+
+// Reader reads a dataset file (v1 or v2; the stream version is
+// auto-detected from the telemetry signature).
 type Reader struct {
 	f    *os.File
 	tr   *telemetry.Reader
@@ -168,3 +257,88 @@ func (r *Reader) Read() (telemetry.Observation, error) { return r.tr.Read() }
 
 // Close closes the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }
+
+// ScanReport is the integrity verdict for a dataset file: what the
+// header claims, and what the stream actually holds.
+type ScanReport struct {
+	// HeaderOK reports that the JSON header parsed; Meta is only
+	// meaningful when it did.
+	HeaderOK bool
+	Meta     Meta
+	// Raw marks a headerless file that starts directly with a telemetry
+	// stream signature (userv6gen -format binary output).
+	Raw bool
+	// Stream summarizes the salvageable content of the record stream.
+	Stream telemetry.SalvageReport
+	// StreamErr is set when the record stream is unrecognizable (no
+	// signature and no intact block).
+	StreamErr string
+}
+
+// Intact reports whether the file verifies end to end: parseable or
+// absent-by-design header, a stream with no corruption or slack, and —
+// when the header carries a count — a matching record count and a
+// Complete finalization flag for v2 files.
+func (r ScanReport) Intact() bool {
+	if r.StreamErr != "" || !r.Stream.Intact() {
+		return false
+	}
+	if r.Raw {
+		return true
+	}
+	if !r.HeaderOK || r.Stream.Records != r.Meta.Records {
+		return false
+	}
+	// v1 files predate the Complete flag; only v2 promises it.
+	return r.Meta.Format < FormatV2 || r.Meta.Complete
+}
+
+// Scan verifies path without extracting records: it parses the header,
+// walks the stream checking every block checksum, and reports what a
+// Salvage pass would recover. It never fails on corrupt content — only
+// on I/O errors — so it is safe to point at torn temp files.
+func Scan(path string) (ScanReport, error) {
+	return salvage(path, nil)
+}
+
+// Salvage recovers every intact record from path, emitting them in
+// stream order, and returns the same report as Scan. Use it to rescue
+// the readable blocks of a corrupted or interrupted dataset.
+func Salvage(path string, emit telemetry.EmitFunc) (ScanReport, error) {
+	return salvage(path, emit)
+}
+
+func salvage(path string, emit telemetry.EmitFunc) (ScanReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScanReport{}, fmt.Errorf("dataset: open: %w", err)
+	}
+	defer f.Close()
+
+	var rep ScanReport
+	hdr := make([]byte, headerSize)
+	n, err := io.ReadFull(f, hdr)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return ScanReport{}, fmt.Errorf("dataset: read header: %w", err)
+	}
+	hdr = hdr[:n]
+
+	var stream io.Reader = f
+	if n >= 3 && hdr[0] == 'u' && hdr[1] == 'v' && hdr[2] == '6' {
+		// Headerless raw telemetry stream: scan from byte zero.
+		rep.Raw = true
+		stream = io.MultiReader(bytes.NewReader(hdr), f)
+	} else {
+		if n == headerSize {
+			if jerr := json.Unmarshal(trimHeader(hdr), &rep.Meta); jerr == nil {
+				rep.HeaderOK = true
+			}
+		}
+	}
+	sr, serr := telemetry.Salvage(stream, emit)
+	rep.Stream = sr
+	if serr != nil {
+		rep.StreamErr = serr.Error()
+	}
+	return rep, nil
+}

@@ -12,6 +12,8 @@
 package telemetry
 
 import (
+	"context"
+
 	"userv6/internal/netaddr"
 	"userv6/internal/netmodel"
 	"userv6/internal/population"
@@ -118,18 +120,39 @@ func (g *Generator) GenerateDay(day simtime.Day, emit EmitFunc) {
 // day), disjoint ranges can be generated concurrently; each goroutine
 // gets its own emit.
 func (g *Generator) GenerateUsers(lo, hi int, from, to simtime.Day, emit EmitFunc) {
+	g.GenerateUsersCtx(context.Background(), lo, hi, from, to, emit)
+}
+
+// GenerateUsersCtx is GenerateUsers with cooperative cancellation: the
+// context is checked before every (user, day) batch, so generation
+// stops within one batch of ctx being cancelled and returns ctx.Err().
+// It returns nil when the range was generated to completion.
+func (g *Generator) GenerateUsersCtx(ctx context.Context, lo, hi int, from, to simtime.Day, emit EmitFunc) error {
 	if lo < 0 {
 		lo = 0
 	}
 	if hi > len(g.Pop.Users) {
 		hi = len(g.Pop.Users)
 	}
+	done := ctx.Done()
 	for i := lo; i < hi; i++ {
 		u := &g.Pop.Users[i]
 		for d := from; d <= to; d++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			g.UserDay(u, d, emit)
 		}
 	}
+	return nil
+}
+
+// GenerateCtx is Generate with cooperative cancellation (see
+// GenerateUsersCtx).
+func (g *Generator) GenerateCtx(ctx context.Context, from, to simtime.Day, emit EmitFunc) error {
+	return g.GenerateUsersCtx(ctx, 0, len(g.Pop.Users), from, to, emit)
 }
 
 // UserDay emits the observations of one user on one day. It is the

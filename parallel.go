@@ -6,7 +6,11 @@ package userv6
 // This is the throughput path for large populations.
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"userv6/internal/core"
@@ -15,15 +19,39 @@ import (
 	"userv6/internal/telemetry"
 )
 
-// GenerateParallel streams benign telemetry for days [from, to] across
-// shards goroutines (0 means GOMAXPROCS). newConsumer is called once per
-// shard to create that shard's consumer; consumers never see another
-// shard's observations, so they need no locking. It returns the
-// consumers for merging.
+// ShardPanicError reports a panic recovered inside one generation
+// shard, attributing the fault to the shard's user-index range so a
+// bad user record (or a buggy consumer) can be localized without
+// taking down the run.
+type ShardPanicError struct {
+	Shard          int
+	UserLo, UserHi int // user-index range [UserLo, UserHi) of the shard
+	Value          any // the recovered panic value
+	Stack          []byte
+}
+
+func (e *ShardPanicError) Error() string {
+	return fmt.Sprintf("userv6: generation shard %d (users [%d,%d)) panicked: %v",
+		e.Shard, e.UserLo, e.UserHi, e.Value)
+}
+
+// GenerateParallelCtx streams benign telemetry for days [from, to]
+// across shards goroutines (0 means GOMAXPROCS), with cancellation and
+// fault isolation. newConsumer is called once per shard to create that
+// shard's consumer; consumers never see another shard's observations,
+// so they need no locking.
+//
+// Each shard checks ctx between (user, day) batches, so cancellation —
+// external or triggered by a sibling's failure — stops the run within
+// one batch. A panic in a shard (generator or consumer) is recovered,
+// converted into a *ShardPanicError naming the shard's user range, and
+// cancels the remaining shards. The first real fault wins: cancellation
+// noise from siblings never masks the error that caused it. A nil
+// return means every shard completed.
 //
 // Abusive telemetry is not included: attacker volume is small enough to
 // stream serially afterwards.
-func (s *Sim) GenerateParallel(from, to simtime.Day, shards int, newConsumer func() telemetry.EmitFunc) {
+func (s *Sim) GenerateParallelCtx(ctx context.Context, from, to simtime.Day, shards int, newConsumer func() telemetry.EmitFunc) error {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -31,25 +59,64 @@ func (s *Sim) GenerateParallel(from, to simtime.Day, shards int, newConsumer fun
 	if shards > users {
 		shards = users
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	report := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil || (isCancellation(firstErr) && !isCancellation(err)) {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
 	var wg sync.WaitGroup
 	per := (users + shards - 1) / shards
 	for sh := 0; sh < shards; sh++ {
 		lo := sh * per
-		hi := lo + per
-		if hi > users {
-			hi = users
-		}
+		hi := min(lo+per, users)
 		if lo >= hi {
 			break
 		}
 		emit := newConsumer()
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(sh, lo, hi int) {
 			defer wg.Done()
-			s.Benign.GenerateUsers(lo, hi, from, to, emit)
-		}(lo, hi)
+			defer func() {
+				if v := recover(); v != nil {
+					report(&ShardPanicError{Shard: sh, UserLo: lo, UserHi: hi,
+						Value: v, Stack: debug.Stack()})
+				}
+			}()
+			report(s.Benign.GenerateUsersCtx(ctx, lo, hi, from, to, emit))
+		}(sh, lo, hi)
 	}
 	wg.Wait()
+	return firstErr
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// GenerateParallel is the errorless variant of GenerateParallelCtx,
+// kept for callers with nowhere to route an error. It never cancels;
+// a shard panic is re-raised in the caller's goroutine (the pre-context
+// behavior, minus the torn-down sibling goroutines).
+func (s *Sim) GenerateParallel(from, to simtime.Day, shards int, newConsumer func() telemetry.EmitFunc) {
+	if err := s.GenerateParallelCtx(context.Background(), from, to, shards, newConsumer); err != nil {
+		// Background context never cancels, so the only possible error
+		// is a recovered shard panic.
+		panic(err)
+	}
 }
 
 // Fig2Parallel computes the Figure 2 histograms using sharded

@@ -1,10 +1,18 @@
 package userv6
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"userv6/internal/core"
 	"userv6/internal/netaddr"
+	"userv6/internal/simtime"
+	"userv6/internal/stats"
 	"userv6/internal/telemetry"
 )
 
@@ -66,17 +74,17 @@ func TestGenerateParallelCoversAllUsers(t *testing.T) {
 	var serialCount int
 	sim.Benign.GenerateDay(84, func(telemetry.Observation) { serialCount++ })
 
-	total := 0
+	var total atomic.Int64
 	sim.GenerateParallel(84, 84, 5, func() telemetry.EmitFunc {
 		m := make(map[uint64]bool)
 		seen = append(seen, m)
 		return func(o telemetry.Observation) {
 			m[o.UserID] = true
-			total++
+			total.Add(1)
 		}
 	})
-	if total != serialCount {
-		t.Fatalf("parallel emitted %d observations, serial %d", total, serialCount)
+	if total.Load() != int64(serialCount) {
+		t.Fatalf("parallel emitted %d observations, serial %d", total.Load(), serialCount)
 	}
 	// Shards are disjoint.
 	union := make(map[uint64]bool)
@@ -112,6 +120,189 @@ func TestUserCentricMerge(t *testing.T) {
 	}
 	if a.AddrsPerUser(netaddr.IPv4).N() != 1 {
 		t.Fatal("v4 user lost in merge")
+	}
+}
+
+// histFingerprint renders a histogram's full distribution to a string,
+// so two runs can be compared byte-for-byte.
+func histFingerprint(h *stats.IntHist) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "N=%d max=%d mean=%v;", h.N(), h.Max(), h.Mean())
+	for v := 0; uint64(v) <= h.Max(); v++ {
+		fmt.Fprintf(&sb, "%d:%v ", v, h.CDFAt(v))
+	}
+	return sb.String()
+}
+
+// Shard-count invariance: the same analysis with 1, 3, and GOMAXPROCS
+// shards must produce byte-identical results.
+func TestShardCountInvariance(t *testing.T) {
+	sim := NewSim(DefaultScenario(2_000))
+	shardCounts := []int{1, 3, runtime.GOMAXPROCS(0)}
+
+	type fp struct{ dayV6, weekV4, weekV6 string }
+	var fig2 []fp
+	var entities []int
+	var ipc []string
+	for _, n := range shardCounts {
+		r := sim.Fig2Parallel(n)
+		fig2 = append(fig2, fp{
+			dayV6:  histFingerprint(r.DayV6),
+			weekV4: histFingerprint(r.WeekV4),
+			weekV6: histFingerprint(r.WeekV6),
+		})
+		entities = append(entities, r.Entities)
+		ic := sim.IPCentricParallel(netaddr.IPv6, 64, n)
+		ipc = append(ipc, fmt.Sprintf("p=%d;%s", ic.Prefixes(), histFingerprint(ic.UsersPerPrefix())))
+	}
+	for i := 1; i < len(shardCounts); i++ {
+		if entities[i] != entities[0] {
+			t.Fatalf("entities differ: shards=%d gives %d, shards=%d gives %d",
+				shardCounts[0], entities[0], shardCounts[i], entities[i])
+		}
+		if fig2[i] != fig2[0] {
+			t.Fatalf("Fig2Parallel differs between shards=%d and shards=%d",
+				shardCounts[0], shardCounts[i])
+		}
+		if ipc[i] != ipc[0] {
+			t.Fatalf("IPCentricParallel differs between shards=%d and shards=%d",
+				shardCounts[0], shardCounts[i])
+		}
+	}
+}
+
+// An injected consumer panic must surface as a *ShardPanicError naming
+// the shard's user range — not crash the process — and the sibling
+// shards must be cancelled rather than run to completion.
+func TestGenerateParallelCtxPanicIsolated(t *testing.T) {
+	sim := NewSim(DefaultScenario(2_000))
+	from, to := AnalysisWeek()
+
+	const panicUser = 777
+	var shardIdx atomic.Int32
+	err := sim.GenerateParallelCtx(context.Background(), from, to, 4, func() telemetry.EmitFunc {
+		shardIdx.Add(1)
+		return func(o telemetry.Observation) {
+			if o.UserID == panicUser {
+				panic("injected consumer fault")
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("injected panic did not surface as an error")
+	}
+	var pe *ShardPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ShardPanicError, got %T: %v", err, err)
+	}
+	if pe.Value != "injected consumer fault" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if panicUser < pe.UserLo || panicUser >= pe.UserHi {
+		t.Fatalf("shard user range [%d,%d) does not contain panicking user %d",
+			pe.UserLo, pe.UserHi, panicUser)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("users [%d,%d)", pe.UserLo, pe.UserHi)) {
+		t.Fatalf("error lacks user-range attribution: %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+}
+
+// Sibling shards observe the cancellation triggered by a fault: they
+// stop early instead of generating their full ranges.
+func TestGenerateParallelCtxSiblingsCancelled(t *testing.T) {
+	sim := NewSim(DefaultScenario(4_000))
+	from, to := AnalysisWeek()
+
+	var full int64
+	sim.Benign.Generate(from, to, func(telemetry.Observation) { full++ })
+
+	var seen atomic.Int64
+	err := sim.GenerateParallelCtx(context.Background(), from, to, 4, func() telemetry.EmitFunc {
+		first := true
+		return func(telemetry.Observation) {
+			seen.Add(1)
+			if first {
+				first = false
+				panic("fail fast")
+			}
+		}
+	})
+	var pe *ShardPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ShardPanicError, got %v", err)
+	}
+	// All four shards die on their first observation batch; the run
+	// must emit a small fraction of the full stream, not most of it.
+	if seen.Load() > full/2 {
+		t.Fatalf("siblings kept generating after fault: %d of %d observations", seen.Load(), full)
+	}
+}
+
+// External cancellation stops generation within one (user, day) batch
+// and propagates context.Canceled.
+func TestGenerateParallelCtxCancellation(t *testing.T) {
+	sim := NewSim(DefaultScenario(4_000))
+	from, to := AnalysisWeek()
+
+	var full int64
+	sim.Benign.Generate(from, to, func(telemetry.Observation) { full++ })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	err := sim.GenerateParallelCtx(ctx, from, to, 4, func() telemetry.EmitFunc {
+		return func(telemetry.Observation) {
+			if seen.Add(1) == 100 {
+				cancel()
+			}
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if seen.Load() > full/2 {
+		t.Fatalf("cancellation ignored: %d of %d observations generated", seen.Load(), full)
+	}
+}
+
+// An already-cancelled context generates nothing.
+func TestGenerateParallelCtxPreCancelled(t *testing.T) {
+	sim := NewSim(DefaultScenario(500))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var seen atomic.Int64
+	err := sim.GenerateParallelCtx(ctx, 84, 84, 2, func() telemetry.EmitFunc {
+		return func(telemetry.Observation) { seen.Add(1) }
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if seen.Load() != 0 {
+		t.Fatalf("pre-cancelled run emitted %d observations", seen.Load())
+	}
+}
+
+// The serial ctx variants mirror their errorless counterparts.
+func TestGenerateCtxMatchesGenerate(t *testing.T) {
+	sim := NewSim(DefaultScenario(500))
+	var a, b int
+	sim.Generate(84, 85, func(telemetry.Observation) { a++ })
+	if err := sim.GenerateCtx(context.Background(), 84, 85, func(telemetry.Observation) { b++ }); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("GenerateCtx emitted %d observations, Generate %d", b, a)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 0
+	if err := sim.GenerateCtx(ctx, simtime.Day(84), simtime.Day(85), func(telemetry.Observation) { n++ }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("cancelled GenerateCtx emitted %d observations", n)
 	}
 }
 

@@ -1,6 +1,8 @@
 package userv6
 
 import (
+	"context"
+
 	"userv6/internal/abuse"
 	"userv6/internal/netmodel"
 	"userv6/internal/population"
@@ -53,6 +55,21 @@ func NewSim(sc Scenario) *Sim {
 func (s *Sim) Generate(from, to simtime.Day, emit telemetry.EmitFunc) {
 	s.Benign.Generate(from, to, emit)
 	s.Abusive.Generate(from, to, emit)
+}
+
+// GenerateCtx is Generate with cooperative cancellation: the benign
+// stream checks ctx between (user, day) batches; the abusive stream is
+// small and runs uninterrupted once started. Returns ctx.Err() when
+// cancelled, nil on completion.
+func (s *Sim) GenerateCtx(ctx context.Context, from, to simtime.Day, emit telemetry.EmitFunc) error {
+	if err := s.Benign.GenerateCtx(ctx, from, to, emit); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.Abusive.Generate(from, to, emit)
+	return nil
 }
 
 // GenerateDay streams one day of merged telemetry.
