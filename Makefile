@@ -1,12 +1,16 @@
 GO ?= go
 FUZZTIME ?= 10s
+# The CI bench gate: one pass over the generation, codec, and trie hot
+# paths, checked against bench/BENCH_baseline.json (3x tripwire).
+BENCH_GATE = ^(BenchmarkGenerateWeek|BenchmarkGenerateDay|BenchmarkWriterV2|BenchmarkReaderV2|BenchmarkTrieUpdate|BenchmarkTrieLookup|BenchmarkRollup)$$
+BENCH_PKGS = . ./internal/telemetry ./internal/trie
 FUZZ_TARGETS = \
 	./internal/telemetry:FuzzReader \
 	./internal/telemetry:FuzzSalvage \
 	./internal/dataset:FuzzDatasetOpen \
 	./internal/dataset:FuzzDatasetRoundTrip
 
-.PHONY: all build vet test race fuzz-smoke ci clean
+.PHONY: all build vet fmt-check test race fuzz-smoke bench-smoke bench-baseline ci clean
 
 all: build
 
@@ -15,6 +19,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -31,8 +41,21 @@ fuzz-smoke:
 		$(GO) test $$pkg -run='^$$' -fuzz="^$$fn$$" -fuzztime=$(FUZZTIME); \
 	done
 
-ci: vet build race fuzz-smoke
+# Single-pass benchmark smoke: catches panics outright and gates ns/op
+# against the checked-in baseline (order-of-magnitude tripwire, not a
+# profiler). Writes BENCH_results.json for the CI artifact.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=1x $(BENCH_PKGS) 2>&1 | tee bench-smoke.txt
+	$(GO) run ./cmd/benchgate -in bench-smoke.txt -baseline bench/BENCH_baseline.json -out BENCH_results.json
+
+# Refresh the checked-in baseline after intentional perf changes.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=1x $(BENCH_PKGS) 2>&1 | tee bench-smoke.txt
+	$(GO) run ./cmd/benchgate -in bench-smoke.txt -baseline bench/BENCH_baseline.json -out BENCH_results.json -update
+
+ci: fmt-check vet build race fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...
 	rm -rf internal/telemetry/testdata/fuzz internal/dataset/testdata/fuzz
+	rm -f bench-smoke.txt BENCH_results.json

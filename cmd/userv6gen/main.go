@@ -6,15 +6,26 @@
 // Usage:
 //
 //	userv6gen gen  -users 20000 -from 81 -to 87 -format binary -o week.uv6
+//	userv6gen gen  -users 200000 -shards 8 -o weekdir            (sharded export)
+//	userv6gen gen  -resume -o week.uv6                           (continue a partial run)
 //	userv6gen info -i week.uv6
-//	userv6gen analyze -i week.uv6
+//	userv6gen analyze -i week.uv6 [-tolerant]
 //	userv6gen verify -i week.uv6
 //	userv6gen salvage -i torn.uv6.tmp -o recovered.uv6
+//	userv6gen merge -manifest weekdir/manifest.uv6m -o week.uv6
+//	userv6gen merge -o week.uv6 part-0000.uv6 part-0001.uv6 ...
 //
 // gen finalizes a valid dataset file even when interrupted by SIGINT or
-// SIGTERM; verify (alias: scan) checks block checksums and reports how
-// many records a salvage pass would recover; salvage rewrites every
-// intact record of a damaged file into a fresh dataset.
+// SIGTERM; with -shards N it writes per-shard part-NNNN.uv6 files plus
+// a manifest.uv6m instead of one file, and with -resume it derives the
+// last completed (user, day) frontier from a partial dataset and
+// continues deterministically into the same output. verify (alias:
+// scan) checks block checksums and reports how many records a salvage
+// pass would recover; salvage rewrites every intact record of a
+// damaged file into a fresh dataset; merge folds part files (possibly
+// partially damaged — corrupt blocks are skipped and coverage is
+// reported per part) into one canonical dataset, byte-identical to a
+// single-writer run when the parts are intact.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"userv6"
@@ -52,19 +64,25 @@ func main() {
 		runVerify(args)
 	case "salvage":
 		runSalvage(args)
+	case "merge":
+		runMerge(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: userv6gen <gen|info|analyze|verify|salvage> [flags]
+	fmt.Fprintln(os.Stderr, `usage: userv6gen <gen|info|analyze|verify|salvage|merge> [flags]
 
   gen      generate a telemetry dataset file
+           -shards N  sharded export: part-NNNN.uv6 files + manifest.uv6m
+           -resume    continue a partial dataset from its (user, day) frontier
   info     summarize a dataset file
   analyze  run the user/IP-centric analyzers over a dataset file
+           -tolerant  salvage-path read: skip corrupt blocks, report coverage
   verify   check dataset integrity (block checksums, record counts)
-  salvage  recover intact records from a damaged dataset into a new file`)
+  salvage  recover intact records from a damaged dataset into a new file
+  merge    fold sharded part files into one canonical dataset`)
 	os.Exit(2)
 }
 
@@ -88,15 +106,12 @@ func runGen(args []string) {
 	from := fs.Int("from", int(simtime.AnalysisWeekStart), "first day index")
 	to := fs.Int("to", int(simtime.AnalysisWeekEnd), "last day index")
 	format := fs.String("format", "dataset", "dataset (headered), binary, or jsonl")
-	out := fs.String("o", "telemetry.uv6", "output path")
+	out := fs.String("o", "telemetry.uv6", "output path (directory with -shards)")
 	benignOnly := fs.Bool("benign-only", false, "omit abusive accounts")
 	sampleSpec := fs.String("sample", "all", "sampler: all, user:R, addr:R, prefixL:R")
+	shards := fs.Int("shards", 0, "sharded export: write N part files + manifest into the -o directory")
+	resume := fs.Bool("resume", false, "continue a partial dataset at -o from its last completed (user, day)")
 	fs.Parse(args)
-
-	sampler, err := sampling.Parse(*sampleSpec, *seed)
-	if err != nil {
-		fatal(err)
-	}
 
 	// A SIGINT/SIGTERM cancels generation at the next (user, day) batch;
 	// the writer then finalizes, so an interrupted run still leaves a
@@ -104,7 +119,44 @@ func runGen(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *resume {
+		if *shards != 0 {
+			fatal(fmt.Errorf("gen: -resume applies to single-file datasets; merge the parts first"))
+		}
+		runGenResume(ctx, *out)
+		return
+	}
+
+	sampler, err := sampling.Parse(*sampleSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
 	sim := userv6.NewSim(userv6.DefaultScenario(*users).WithSeed(*seed))
+
+	if *shards != 0 {
+		if *format != "dataset" {
+			fatal(fmt.Errorf("gen: -shards requires -format dataset"))
+		}
+		meta := dataset.Meta{
+			Seed: *seed, Users: *users, FromDay: *from, ToDay: *to,
+			Sample: *sampleSpec, BenignOnly: *benignOnly,
+		}
+		man, err := sim.ExportShardedCtx(ctx, *out, *shards, meta, func(emit telemetry.EmitFunc) telemetry.EmitFunc {
+			return sampling.Filter(sampler, emit)
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fatal(fmt.Errorf("interrupted: sharded export aborted, partial parts removed (sharded runs are all-or-nothing; use single-file gen for resumable output)"))
+			}
+			fatal(err)
+		}
+		fmt.Printf("wrote sharded dataset (%d users, days %d-%d) to %s: %d parts, %d records, %d blocks (config %s)\n",
+			*users, *from, *to, *out, len(man.Parts), man.TotalRecords(), man.TotalBlocks(), man.ConfigHash)
+		fmt.Printf("merge with: userv6gen merge -manifest %s -o merged.uv6\n",
+			filepath.Join(*out, dataset.ManifestName))
+		return
+	}
 
 	generate := func(emit telemetry.EmitFunc) error {
 		emit = sampling.Filter(sampler, emit)
@@ -188,6 +240,182 @@ func runGen(args []string) {
 		n, *users, *from, *to, *format, *out, st.Size(), note)
 }
 
+// runGenResume continues an interrupted dataset generation run. The
+// partial file (the -o target, or its crash-safe .tmp sibling) supplies
+// the run configuration from its header and a strictly verified record
+// prefix; the frontier — the last (user, day) batch certain to be
+// complete — is derived from that prefix, the prefix is re-emitted into
+// a fresh writer, and deterministic generation restarts at the
+// frontier. The finished file is byte-identical to an uninterrupted
+// run.
+func runGenResume(ctx context.Context, out string) {
+	src := out
+	if _, err := os.Stat(src); err != nil {
+		if _, terr := os.Stat(out + ".tmp"); terr == nil {
+			src = out + ".tmp"
+		} else {
+			fatal(fmt.Errorf("gen -resume: no partial dataset at %s (or %s.tmp)", out, out))
+		}
+	}
+	// Note that a finalized header (complete:true) does not mean the
+	// whole window was generated — an interrupted gen finalizes a valid
+	// partial dataset. Resume is idempotent: resuming a genuinely
+	// complete file regenerates only its final batch and reproduces the
+	// identical bytes.
+	meta, obs, err := dataset.LoadResumePrefix(src)
+	if err != nil {
+		fatal(err)
+	}
+	front, keep := dataset.DeriveFrontier(obs)
+
+	sampler, err := sampling.Parse(meta.Sample, meta.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	sim := userv6.NewSim(userv6.DefaultScenario(meta.Users).WithSeed(meta.Seed))
+	from, to := meta.Window()
+
+	// The resumed file carries the original run's configuration; counts
+	// and completion are rewritten by the new writer.
+	w, err := dataset.Create(out, dataset.Meta{
+		Seed: meta.Seed, Users: meta.Users, FromDay: meta.FromDay, ToDay: meta.ToDay,
+		Sample: meta.Sample, BenignOnly: meta.BenignOnly,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	emit, errp := w.Emit()
+	for _, o := range obs[:keep] {
+		emit(o)
+	}
+	femit := sampling.Filter(sampler, emit)
+
+	var genErr error
+	switch {
+	case front.Restart:
+		if meta.BenignOnly {
+			genErr = sim.Benign.GenerateCtx(ctx, from, to, femit)
+		} else {
+			genErr = sim.GenerateCtx(ctx, from, to, femit)
+		}
+	case front.BenignDone:
+		sim.Abusive.Generate(from, to, femit)
+	default:
+		idx := sim.UserIndex(front.UserID)
+		if idx < 0 {
+			w.Abort()
+			fatal(fmt.Errorf("gen -resume: frontier user %d not in population (%d users); header untrustworthy?",
+				front.UserID, meta.Users))
+		}
+		if meta.BenignOnly {
+			genErr = sim.Benign.GenerateFromCtx(ctx, idx, front.Day, from, to, femit)
+		} else {
+			genErr = sim.GenerateResumeCtx(ctx, idx, front.Day, from, to, femit)
+		}
+	}
+	if *errp != nil {
+		w.Abort()
+		fatal(*errp)
+	}
+	if genErr != nil && !errors.Is(genErr, context.Canceled) {
+		w.Abort()
+		fatal(genErr)
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	st, _ := os.Stat(out)
+	note := ""
+	if genErr != nil {
+		note = " [interrupted again; resume to continue]"
+	}
+	switch {
+	case front.Restart:
+		fmt.Printf("resumed %s from scratch (no usable prefix): %d records, %d bytes%s\n",
+			out, w.Records(), st.Size(), note)
+	case front.BenignDone:
+		fmt.Printf("resumed %s at the abusive phase (kept %d benign records): %d records, %d bytes%s\n",
+			out, keep, w.Records(), st.Size(), note)
+	default:
+		fmt.Printf("resumed %s at user %d, day %d (kept %d records): %d records, %d bytes%s\n",
+			out, front.UserID, int(front.Day), keep, w.Records(), st.Size(), note)
+	}
+}
+
+// runMerge folds N part files — a sharded export's manifest, or an
+// explicit file list — into one canonical dataset. Damaged parts cost
+// only their corrupt blocks; the per-part coverage report states
+// exactly what was recovered. Transient read errors are retried with
+// capped exponential backoff.
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "merged.uv6", "output path for the merged dataset")
+	manifest := fs.String("manifest", "", "manifest.uv6m path (parts resolved next to it)")
+	retries := fs.Int("retries", 3, "max retries per part on transient I/O errors")
+	strict := fs.Bool("strict", false, "fail on any damaged part instead of skipping corrupt blocks")
+	fs.Parse(args)
+
+	opts := &dataset.MergeOptions{MaxRetries: *retries, Strict: *strict}
+	var (
+		rep dataset.MergeReport
+		err error
+	)
+	if *manifest != "" {
+		if fs.NArg() > 0 {
+			fatal(fmt.Errorf("merge: use -manifest or positional part files, not both"))
+		}
+		var man *dataset.Manifest
+		man, rep, err = dataset.MergeManifest(*out, *manifest, opts)
+		if man != nil {
+			fmt.Printf("manifest: seed=%d shards=%d parts=%d config=%s expected %d records in %d blocks\n",
+				man.Seed, man.Shards, len(man.Parts), man.ConfigHash, man.TotalRecords(), man.TotalBlocks())
+		}
+	} else {
+		parts := fs.Args()
+		if len(parts) == 0 {
+			fatal(fmt.Errorf("merge: no inputs (use -manifest or list part files)"))
+		}
+		// Without a manifest the output inherits the first readable
+		// part's header configuration.
+		var meta dataset.Meta
+		for _, p := range parts {
+			if scan, serr := dataset.Scan(p); serr == nil && scan.HeaderOK && scan.HeaderErr == "" {
+				meta = scan.Meta
+				break
+			}
+		}
+		rep, err = dataset.Merge(*out, meta, parts, opts)
+	}
+	printMergeReport(rep)
+	if err != nil {
+		fatal(err)
+	}
+	st, _ := os.Stat(*out)
+	verdict := "complete"
+	if !rep.Complete {
+		verdict = "INCOMPLETE (some blocks unrecoverable; see coverage above)"
+	}
+	fmt.Printf("merged %d records to %s (%d bytes): %s\n", rep.Records, *out, st.Size(), verdict)
+}
+
+func printMergeReport(rep dataset.MergeReport) {
+	if len(rep.Parts) == 0 {
+		return
+	}
+	t := report.NewTable("part", "blocks", "coverage", "records", "corrupt", "skipped B", "retries", "checksum")
+	for _, c := range rep.Parts {
+		sum := "ok"
+		if !c.ChecksumOK {
+			sum = "MISMATCH"
+		}
+		t.Row(c.Name,
+			fmt.Sprintf("%d/%d", c.BlocksRecovered, c.BlocksExpected),
+			report.Percent(c.Coverage()),
+			c.Records, c.CorruptBlocks, c.SkippedBytes, c.Retries, sum)
+	}
+	t.Write(os.Stdout)
+}
+
 // runVerify checks a dataset (or raw stream) file end to end: header
 // parse, per-block checksums, and header-vs-stream record counts. Exit
 // status 0 means intact; 1 means damaged (the report shows what a
@@ -213,9 +441,15 @@ func printScanReport(rep dataset.ScanReport) {
 	switch {
 	case rep.Raw:
 		t.Row("header", "none (raw telemetry stream)")
+	case rep.HeaderOK && rep.HeaderErr != "":
+		t.Row("header", "CORRUPT: "+rep.HeaderErr)
 	case rep.HeaderOK:
 		m := rep.Meta
-		t.Row("header", "ok").
+		hdr := "ok"
+		if m.HeaderCRC != "" {
+			hdr = "ok (crc " + m.HeaderCRC + ")"
+		}
+		t.Row("header", hdr).
 			Row("header format", formatName(m.Format)).
 			Row("header complete", m.Complete).
 			Row("header records", m.Records)
@@ -330,21 +564,41 @@ func runInfo(args []string) {
 func runAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	in := fs.String("i", "telemetry.uv6", "input path (binary format)")
+	tolerant := fs.Bool("tolerant", false, "salvage-path read: analyze intact blocks of a damaged file and report coverage")
 	fs.Parse(args)
 	inputArg(fs, in)
 
-	r := openReader(*in)
 	uc := core.NewUserCentricFor(false)
 	ic4 := core.NewIPCentric(netaddr.IPv4, 32)
 	ic6 := core.NewIPCentric(netaddr.IPv6, 128)
 	ic64 := core.NewIPCentric(netaddr.IPv6, 64)
-	if err := r.ForEach(func(o telemetry.Observation) {
+	observe := func(o telemetry.Observation) {
 		uc.Observe(o)
 		ic4.Observe(o)
 		ic6.Observe(o)
 		ic64.Observe(o)
-	}); err != nil {
-		fatal(err)
+	}
+
+	if *tolerant {
+		// Mirror of the hitlist pipelines on partially aliased input:
+		// analyze every block that verifies, skip the damage, and say
+		// how much of the file the results describe.
+		rep, err := dataset.Salvage(*in, observe)
+		if err != nil {
+			fatal(err)
+		}
+		if rep.StreamErr != "" {
+			fatal(fmt.Errorf("analyze -tolerant: %s", rep.StreamErr))
+		}
+		total := rep.Stream.Blocks + rep.Stream.CorruptBlocks
+		fmt.Printf("tolerant read: analyzed %d of %d blocks (%d records; %d corrupt blocks, %d bytes skipped)\n\n",
+			rep.Stream.Blocks, total, rep.Stream.Records,
+			rep.Stream.CorruptBlocks, rep.Stream.SkippedBytes)
+	} else {
+		r := openReader(*in)
+		if err := r.ForEach(observe); err != nil {
+			fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
+		}
 	}
 
 	h4, h6 := uc.AddrsPerUser(netaddr.IPv4), uc.AddrsPerUser(netaddr.IPv6)

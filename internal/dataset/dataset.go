@@ -18,7 +18,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -53,6 +55,14 @@ type Meta struct {
 	// Complete false was interrupted mid-write and may hold fewer
 	// records than a finished run would have.
 	Complete bool `json:"complete,omitempty"`
+	// HeaderCRC is the self-excluding header checksum: CRC32C
+	// (Castagnoli) of the full 256-byte padded header with these eight
+	// hex digits replaced by "00000000", rendered as lowercase hex. It
+	// closes the last silent-corruption gap — a bit-flipped seed digit
+	// in the JSON header is now detected like any payload flip. Headers
+	// written before the field existed omit it and are accepted
+	// unchecked.
+	HeaderCRC string `json:"header_crc,omitempty"`
 }
 
 // Window returns the day range as simtime values.
@@ -109,8 +119,25 @@ func Create(path string, meta Meta) (*Writer, error) {
 // with spaces so the header can be rewritten in place as counts grow.
 const headerSize = 256
 
+// headerCRCKey is the JSON prefix of the checksum field inside the raw
+// header bytes; the eight hex digits follow it immediately. Writing
+// computes the CRC with the digits zeroed and patches them in; reading
+// zeroes them again before recomputing, so the checksum excludes itself.
+const headerCRCKey = `"header_crc":"`
+
+// headerCRCZero is the placeholder over which the checksum is computed.
+const headerCRCZero = "00000000"
+
+var headerCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrHeaderCRC reports a dataset header whose self-excluding checksum
+// does not match: some byte of the 256-byte JSON header was altered.
+var ErrHeaderCRC = errors.New("dataset: header checksum mismatch")
+
 func (w *Writer) writeHeader() error {
-	b, err := json.Marshal(w.meta)
+	m := w.meta
+	m.HeaderCRC = headerCRCZero
+	b, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("dataset: marshal header: %w", err)
 	}
@@ -123,14 +150,47 @@ func (w *Writer) writeHeader() error {
 	}
 	copy(buf, b)
 	buf[headerSize-1] = '\n'
+	i := bytes.Index(buf, []byte(headerCRCKey))
+	if i < 0 {
+		return fmt.Errorf("dataset: header checksum field missing after marshal")
+	}
+	crc := crc32.Checksum(buf, headerCastagnoli)
+	copy(buf[i+len(headerCRCKey):], fmt.Sprintf("%08x", crc))
 	if _, err := w.f.WriteAt(buf, 0); err != nil {
 		return fmt.Errorf("dataset: write header: %w", err)
 	}
 	return nil
 }
 
+// verifyHeaderCRC checks the self-excluding header checksum of the raw
+// 256-byte header against the parsed metadata. Headers without the
+// field (v1 and early v2 files) pass unchecked.
+func verifyHeaderCRC(hdr []byte, meta Meta) error {
+	if meta.HeaderCRC == "" {
+		return nil
+	}
+	i := bytes.Index(hdr, []byte(headerCRCKey))
+	if i < 0 || i+len(headerCRCKey)+len(headerCRCZero) > len(hdr) {
+		return fmt.Errorf("%w (field present in metadata but not in raw header)", ErrHeaderCRC)
+	}
+	tmp := make([]byte, len(hdr))
+	copy(tmp, hdr)
+	copy(tmp[i+len(headerCRCKey):], headerCRCZero)
+	if got := fmt.Sprintf("%08x", crc32.Checksum(tmp, headerCastagnoli)); got != meta.HeaderCRC {
+		return fmt.Errorf("%w (stored %s, computed %s)", ErrHeaderCRC, meta.HeaderCRC, got)
+	}
+	return nil
+}
+
 // Path returns the final path the dataset will occupy after Close.
 func (w *Writer) Path() string { return w.path }
+
+// Records returns the number of records written so far.
+func (w *Writer) Records() uint64 { return w.tw.Count() }
+
+// Blocks returns the number of stream frames emitted so far (final
+// after Close). Sharded exports record it per part in the manifest.
+func (w *Writer) Blocks() uint64 { return w.tw.Blocks() }
 
 // Write appends one observation. Every headerFlushEvery records the
 // stream is flushed and the header refreshed with the running count, so
@@ -232,6 +292,10 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("dataset: parse header: %w", err)
 	}
+	if err := verifyHeaderCRC(hdr, meta); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &Reader{f: f, tr: telemetry.NewReader(bufio.NewReaderSize(f, 1<<16)), meta: meta}, nil
 }
 
@@ -264,7 +328,11 @@ type ScanReport struct {
 	// HeaderOK reports that the JSON header parsed; Meta is only
 	// meaningful when it did.
 	HeaderOK bool
-	Meta     Meta
+	// HeaderErr is set when the header parsed but failed its
+	// self-excluding CRC check: the metadata cannot be trusted even
+	// though it is syntactically valid.
+	HeaderErr string
+	Meta      Meta
 	// Raw marks a headerless file that starts directly with a telemetry
 	// stream signature (userv6gen -format binary output).
 	Raw bool
@@ -286,7 +354,7 @@ func (r ScanReport) Intact() bool {
 	if r.Raw {
 		return true
 	}
-	if !r.HeaderOK || r.Stream.Records != r.Meta.Records {
+	if !r.HeaderOK || r.HeaderErr != "" || r.Stream.Records != r.Meta.Records {
 		return false
 	}
 	// v1 files predate the Complete flag; only v2 promises it.
@@ -332,6 +400,9 @@ func salvage(path string, emit telemetry.EmitFunc) (ScanReport, error) {
 		if n == headerSize {
 			if jerr := json.Unmarshal(trimHeader(hdr), &rep.Meta); jerr == nil {
 				rep.HeaderOK = true
+				if cerr := verifyHeaderCRC(hdr, rep.Meta); cerr != nil {
+					rep.HeaderErr = cerr.Error()
+				}
 			}
 		}
 	}

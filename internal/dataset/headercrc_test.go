@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"userv6/internal/telemetry"
+)
+
+// flipSeedDigit alters one digit of the seed value inside a raw header,
+// the canonical silent-corruption case the header CRC exists to catch.
+func flipSeedDigit(t *testing.T, raw []byte) {
+	t.Helper()
+	i := bytes.Index(raw[:headerSize], []byte(`"seed":`))
+	if i < 0 {
+		t.Fatal("no seed field in header")
+	}
+	i += len(`"seed":`)
+	if raw[i] < '0' || raw[i] > '9' {
+		t.Fatalf("seed field does not start with a digit: %q", raw[i])
+	}
+	// Flip to a different digit so the JSON stays valid and parseable.
+	if raw[i] == '9' {
+		raw[i] = '1'
+	} else {
+		raw[i]++
+	}
+}
+
+// TestHeaderCRCDetectsSeedFlip: pre-CRC headers let a flipped seed
+// digit pass silently; the self-excluding checksum closes that gap.
+func TestHeaderCRCDetectsSeedFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.uv6")
+	w, err := Create(path, Meta{Seed: 123456, Users: 100, FromDay: 0, ToDay: 6, Sample: "all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range sample(100) {
+		if err := w.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pristine file opens and scans intact, with a CRC present.
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta().HeaderCRC == "" {
+		t.Fatal("new header carries no CRC")
+	}
+	r.Close()
+	rep, err := Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Intact() || rep.HeaderErr != "" {
+		t.Fatalf("pristine scan = %+v", rep)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipSeedDigit(t, raw)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(path); !errors.Is(err, ErrHeaderCRC) {
+		t.Fatalf("Open after seed flip: %v, want ErrHeaderCRC", err)
+	}
+	rep, err = Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HeaderErr == "" {
+		t.Fatal("scan did not flag the flipped header")
+	}
+	if rep.Intact() {
+		t.Fatal("scan reported a flipped header intact")
+	}
+	// The stream itself is untouched: salvage still recovers everything.
+	if rep.Stream.Records != 100 || !rep.Stream.Intact() {
+		t.Fatalf("stream after header flip = %+v", rep.Stream)
+	}
+}
+
+// TestHeaderCRCLegacyHeadersStillReadable: headers written before the
+// field existed carry no CRC and are accepted unchecked — v1 and early
+// v2 files stay readable forever.
+func TestHeaderCRCLegacyHeadersStillReadable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.uv6")
+
+	// Fabricate a pre-CRC header by writing a normal file and replacing
+	// its header with a CRC-less one.
+	w, err := Create(path, Meta{Seed: 7, Users: 50, FromDay: 0, ToDay: 6, Sample: "all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := sample(50)
+	for _, o := range obs {
+		if err := w.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := Meta{Seed: 7, Users: 50, FromDay: 0, ToDay: 6, Sample: "all",
+		Records: 50, Format: FormatV2, Complete: true}
+	b, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("header_crc")) {
+		t.Fatal("legacy fixture unexpectedly has a CRC field")
+	}
+	hdr := bytes.Repeat([]byte{' '}, headerSize)
+	copy(hdr, b)
+	hdr[headerSize-1] = '\n'
+	copy(raw[:headerSize], hdr)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("legacy header rejected: %v", err)
+	}
+	defer r.Close()
+	if r.Meta().HeaderCRC != "" {
+		t.Fatal("legacy header grew a CRC")
+	}
+	n := 0
+	if err := r.ForEach(func(telemetry.Observation) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("read %d records", n)
+	}
+	rep, err := Scan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Intact() {
+		t.Fatalf("legacy scan = %+v", rep)
+	}
+}

@@ -1,0 +1,188 @@
+// Manifest support for sharded dataset export. A sharded run writes N
+// part files (part-0000.uv6 … each a complete, self-describing dataset
+// covering one contiguous user-index range) plus one manifest.uv6m, a
+// JSON document binding the parts together: the producing seed and
+// config hash, the shard count, and per-part user ranges, block/record
+// counts, and whole-file checksums. The manifest is what lets a merge
+// verify coverage part by part — the same shard-by-shard discipline the
+// hitlist pipelines use on partially damaged address corpora.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+const (
+	// ManifestVersion is the current manifest schema version.
+	ManifestVersion = 1
+	// ManifestName is the conventional manifest filename inside a
+	// sharded export directory.
+	ManifestName = "manifest.uv6m"
+
+	// PartKindBenign marks a part holding one shard's benign user range;
+	// PartKindAbusive marks the single trailing part holding the
+	// serially generated abusive stream.
+	PartKindBenign  = "benign"
+	PartKindAbusive = "abusive"
+)
+
+// PartInfo describes one part file of a sharded export.
+type PartInfo struct {
+	// Name is the part's filename, relative to the manifest.
+	Name string `json:"name"`
+	// Kind is PartKindBenign or PartKindAbusive.
+	Kind string `json:"kind"`
+	// UserLo and UserHi bound the part's user-index range [lo, hi).
+	// Zero for the abusive part, whose accounts are not population
+	// users.
+	UserLo int `json:"user_lo"`
+	UserHi int `json:"user_hi"`
+	// Records and Blocks are the part's record and frame counts.
+	Records uint64 `json:"records"`
+	Blocks  uint64 `json:"blocks"`
+	// CRC32C is the Castagnoli checksum of the entire part file
+	// (header and stream), lowercase hex.
+	CRC32C string `json:"crc32c"`
+}
+
+// Manifest binds the parts of a sharded export together.
+type Manifest struct {
+	Version int `json:"version"`
+	// Seed and ConfigHash identify the producing run; a merge refuses
+	// nothing on its own, but tools can compare hashes before mixing
+	// parts from different configurations.
+	Seed       uint64 `json:"seed"`
+	ConfigHash string `json:"config_hash"`
+	// Shards is the number of benign shards (the abusive part, when
+	// present, is in addition).
+	Shards int `json:"shards"`
+	// Meta is the dataset metadata a merged output should carry —
+	// identical to what a single-writer run at the same config writes.
+	Meta Meta `json:"meta"`
+	// Parts lists every part in canonical merge order: benign shards by
+	// ascending user range, then the abusive part.
+	Parts []PartInfo `json:"parts"`
+}
+
+// TotalRecords sums the per-part record counts.
+func (m *Manifest) TotalRecords() uint64 {
+	var n uint64
+	for _, p := range m.Parts {
+		n += p.Records
+	}
+	return n
+}
+
+// TotalBlocks sums the per-part frame counts.
+func (m *Manifest) TotalBlocks() uint64 {
+	var n uint64
+	for _, p := range m.Parts {
+		n += p.Blocks
+	}
+	return n
+}
+
+// ConfigHash derives the manifest's config fingerprint from the
+// scenario-identifying metadata fields (seed, population, window,
+// sampler, benign-only). Volatile fields — record counts, completion,
+// header CRC — are excluded, so a partial and a complete run of the
+// same configuration hash identically.
+func ConfigHash(m Meta) string {
+	id := struct {
+		Seed       uint64 `json:"seed"`
+		Users      int    `json:"users"`
+		FromDay    int    `json:"from_day"`
+		ToDay      int    `json:"to_day"`
+		Sample     string `json:"sample"`
+		BenignOnly bool   `json:"benign_only"`
+	}{m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.BenignOnly}
+	b, err := json.Marshal(id)
+	if err != nil {
+		// Marshal of a flat struct of scalars cannot fail.
+		panic(err)
+	}
+	return fmt.Sprintf("%08x", crc32.Checksum(b, headerCastagnoli))
+}
+
+// WriteManifest writes m to path atomically (temp + rename), so a
+// crashed export never leaves a half-written manifest next to its
+// parts.
+func WriteManifest(path string, m *Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dataset: marshal manifest: %w", err)
+	}
+	b = append(b, '\n')
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("dataset: create manifest: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: rename manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest parses and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("dataset: parse manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("dataset: unsupported manifest version %d", m.Version)
+	}
+	if len(m.Parts) == 0 {
+		return nil, fmt.Errorf("dataset: manifest lists no parts")
+	}
+	for i, p := range m.Parts {
+		if p.Name == "" {
+			return nil, fmt.Errorf("dataset: manifest part %d has no name", i)
+		}
+		if p.Kind != PartKindBenign && p.Kind != PartKindAbusive {
+			return nil, fmt.Errorf("dataset: manifest part %q has unknown kind %q", p.Name, p.Kind)
+		}
+	}
+	return &m, nil
+}
+
+// FileCRC32C computes the Castagnoli checksum of an entire file,
+// rendered as lowercase hex — the per-part checksum recorded in the
+// manifest.
+func FileCRC32C(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("dataset: checksum open: %w", err)
+	}
+	defer f.Close()
+	h := crc32.New(headerCastagnoli)
+	if _, err := io.Copy(h, bufio.NewReaderSize(f, 1<<16)); err != nil {
+		return "", fmt.Errorf("dataset: checksum read: %w", err)
+	}
+	return fmt.Sprintf("%08x", h.Sum32()), nil
+}

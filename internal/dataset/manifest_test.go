@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	meta := Meta{Seed: 42, Users: 10_000, FromDay: 81, ToDay: 87, Sample: "user:0.5"}
+	in := &Manifest{
+		Version:    ManifestVersion,
+		Seed:       42,
+		ConfigHash: ConfigHash(meta),
+		Shards:     2,
+		Meta:       meta,
+		Parts: []PartInfo{
+			{Name: "part-0000.uv6", Kind: PartKindBenign, UserLo: 0, UserHi: 5000, Records: 120, Blocks: 1, CRC32C: "0123abcd"},
+			{Name: "part-0001.uv6", Kind: PartKindBenign, UserLo: 5000, UserHi: 10000, Records: 130, Blocks: 1, CRC32C: "deadbeef"},
+			{Name: "part-0002.uv6", Kind: PartKindAbusive, Records: 10, Blocks: 1, CRC32C: "00ff00ff"},
+		},
+	}
+	path := filepath.Join(dir, ManifestName)
+	if err := WriteManifest(path, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != in.Seed || got.Shards != in.Shards || got.ConfigHash != in.ConfigHash {
+		t.Fatalf("manifest = %+v", got)
+	}
+	if got.Meta != in.Meta {
+		t.Fatalf("meta round-trip: %+v != %+v", got.Meta, in.Meta)
+	}
+	if len(got.Parts) != 3 {
+		t.Fatalf("parts = %d", len(got.Parts))
+	}
+	for i := range got.Parts {
+		if got.Parts[i] != in.Parts[i] {
+			t.Fatalf("part %d: %+v != %+v", i, got.Parts[i], in.Parts[i])
+		}
+	}
+	if got.TotalRecords() != 260 || got.TotalBlocks() != 3 {
+		t.Fatalf("totals: %d records, %d blocks", got.TotalRecords(), got.TotalBlocks())
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, m *Manifest) string {
+		p := filepath.Join(dir, name)
+		if err := WriteManifest(p, m); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		m    *Manifest
+		want string
+	}{
+		{"badversion.uv6m", &Manifest{Version: 99, Parts: []PartInfo{{Name: "p", Kind: PartKindBenign}}}, "version"},
+		{"noparts.uv6m", &Manifest{Version: ManifestVersion}, "no parts"},
+		{"noname.uv6m", &Manifest{Version: ManifestVersion, Parts: []PartInfo{{Kind: PartKindBenign}}}, "no name"},
+		{"badkind.uv6m", &Manifest{Version: ManifestVersion, Parts: []PartInfo{{Name: "p", Kind: "weird"}}}, "kind"},
+	}
+	for _, c := range cases {
+		p := write(c.name, c.m)
+		if _, err := ReadManifest(p); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	if _, err := ReadManifest(filepath.Join(dir, "missing.uv6m")); err == nil {
+		t.Fatal("missing manifest should fail")
+	}
+}
+
+func TestConfigHashDistinguishesConfigs(t *testing.T) {
+	base := Meta{Seed: 1, Users: 100, FromDay: 0, ToDay: 6, Sample: "all"}
+	h := ConfigHash(base)
+	if h != ConfigHash(base) {
+		t.Fatal("config hash not deterministic")
+	}
+	// Volatile fields must not affect the hash: a partial and a
+	// complete run of one configuration hash identically.
+	volatile := base
+	volatile.Records = 999
+	volatile.Complete = true
+	volatile.HeaderCRC = "ffffffff"
+	if ConfigHash(volatile) != h {
+		t.Fatal("volatile fields changed the config hash")
+	}
+	for _, m := range []Meta{
+		{Seed: 2, Users: 100, FromDay: 0, ToDay: 6, Sample: "all"},
+		{Seed: 1, Users: 101, FromDay: 0, ToDay: 6, Sample: "all"},
+		{Seed: 1, Users: 100, FromDay: 1, ToDay: 6, Sample: "all"},
+		{Seed: 1, Users: 100, FromDay: 0, ToDay: 6, Sample: "user:0.1"},
+		{Seed: 1, Users: 100, FromDay: 0, ToDay: 6, Sample: "all", BenignOnly: true},
+	} {
+		if ConfigHash(m) == h {
+			t.Fatalf("config hash collision with %+v", m)
+		}
+	}
+}

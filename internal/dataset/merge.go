@@ -1,0 +1,247 @@
+// Merge folds the parts of a sharded export (or any list of dataset
+// files) into one canonical dataset. Records are re-framed through a
+// fresh writer in part order, so merging the parts of a sharded run
+// reproduces, byte for byte, the dataset a single-writer run at the
+// same configuration would have written. Each input goes through the
+// salvage path: corrupt blocks cost only themselves, and the report
+// says exactly how much of each part survived — the tolerant-merge
+// shape the hitlist pipelines apply to partially damaged corpora.
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"userv6/internal/telemetry"
+)
+
+// Hooks tests use to inject transient I/O faults and observe backoff
+// without sleeping.
+var (
+	readFile   = os.ReadFile
+	retrySleep = time.Sleep
+)
+
+// MergeOptions tunes a merge run.
+type MergeOptions struct {
+	// MaxRetries is how many times a transient I/O error reading one
+	// part is retried before the merge fails (default 3). Retries use
+	// exponential backoff starting at RetryBase (default 50ms) and
+	// capped at RetryMax (default 2s). Decoding is retry-safe: a part
+	// is read fully into memory before any record is emitted, so a
+	// retried read can never duplicate records.
+	MaxRetries int
+	RetryBase  time.Duration
+	RetryMax   time.Duration
+	// Strict makes any corruption or checksum mismatch fatal instead of
+	// skipped-and-reported.
+	Strict bool
+	// Expected, when non-nil, supplies per-part expectations (block
+	// counts, whole-file checksums) from a manifest, keyed by part
+	// name; coverage is then reported against what the producer wrote
+	// rather than against what happens to be readable.
+	Expected map[string]PartInfo
+}
+
+func (o *MergeOptions) withDefaults() MergeOptions {
+	out := MergeOptions{MaxRetries: 3, RetryBase: 50 * time.Millisecond, RetryMax: 2 * time.Second}
+	if o == nil {
+		return out
+	}
+	out.Strict = o.Strict
+	out.Expected = o.Expected
+	if o.MaxRetries > 0 {
+		out.MaxRetries = o.MaxRetries
+	}
+	if o.RetryBase > 0 {
+		out.RetryBase = o.RetryBase
+	}
+	if o.RetryMax > 0 {
+		out.RetryMax = o.RetryMax
+	}
+	return out
+}
+
+// PartCoverage reports how much of one input part the merge recovered.
+type PartCoverage struct {
+	Name string
+	// BlocksRecovered of BlocksExpected frames were intact.
+	// BlocksExpected comes from the manifest when available, otherwise
+	// from what the scan itself saw (recovered + corrupt).
+	BlocksRecovered int
+	BlocksExpected  int
+	CorruptBlocks   int
+	Records         uint64
+	SkippedBytes    int64
+	// Retries counts transient read errors that were retried
+	// successfully.
+	Retries int
+	// ChecksumOK reports the whole-file CRC32C against the manifest;
+	// true when no expectation was available.
+	ChecksumOK bool
+}
+
+// Coverage is the recovered fraction of expected blocks in [0, 1]
+// (1 for an empty part).
+func (c PartCoverage) Coverage() float64 {
+	if c.BlocksExpected == 0 {
+		return 1
+	}
+	return float64(c.BlocksRecovered) / float64(c.BlocksExpected)
+}
+
+// Intact reports whether the part contributed everything it was
+// expected to hold.
+func (c PartCoverage) Intact() bool {
+	return c.ChecksumOK && c.CorruptBlocks == 0 && c.SkippedBytes == 0 &&
+		c.BlocksRecovered == c.BlocksExpected
+}
+
+// MergeReport summarizes a merge: per-part coverage in input order and
+// the merged totals.
+type MergeReport struct {
+	Parts   []PartCoverage
+	Records uint64
+	// Complete is true when every part was fully recovered — the merged
+	// output holds everything the parts ever held.
+	Complete bool
+}
+
+// Merge folds the given part files, in order, into one dataset at out
+// carrying meta. Each part is read with capped-exponential-backoff
+// retries on transient I/O errors, then salvaged: intact blocks are
+// re-emitted through the output writer, corrupt blocks are skipped and
+// reported. The output is finalized (complete, checksummed header)
+// even when parts were damaged — the report says what was lost.
+func Merge(out string, meta Meta, parts []string, opts *MergeOptions) (MergeReport, error) {
+	opt := opts.withDefaults()
+	w, err := Create(out, meta)
+	if err != nil {
+		return MergeReport{}, err
+	}
+	rep, err := mergeInto(w, parts, opt)
+	if err != nil {
+		w.Abort()
+		return rep, err
+	}
+	if err := w.Close(); err != nil {
+		return rep, err
+	}
+	rep.Records = w.Records()
+	return rep, nil
+}
+
+// MergeManifest merges the parts listed in a manifest (resolved
+// relative to the manifest's directory) into out, using the manifest's
+// metadata and per-part expectations.
+func MergeManifest(out, manifestPath string, opts *MergeOptions) (*Manifest, MergeReport, error) {
+	man, err := ReadManifest(manifestPath)
+	if err != nil {
+		return nil, MergeReport{}, err
+	}
+	dir := filepath.Dir(manifestPath)
+	paths := make([]string, len(man.Parts))
+	expected := make(map[string]PartInfo, len(man.Parts))
+	for i, p := range man.Parts {
+		paths[i] = filepath.Join(dir, p.Name)
+		expected[p.Name] = p
+	}
+	opt := opts.withDefaults()
+	opt.Expected = expected
+	rep, err := Merge(out, man.Meta, paths, &opt)
+	return man, rep, err
+}
+
+func mergeInto(w *Writer, parts []string, opt MergeOptions) (MergeReport, error) {
+	var rep MergeReport
+	rep.Complete = true
+	emit, errp := w.Emit()
+	for _, path := range parts {
+		cov, err := mergePart(path, emit, opt)
+		if err != nil {
+			return rep, fmt.Errorf("dataset: merge %s: %w", path, err)
+		}
+		if *errp != nil {
+			return rep, *errp
+		}
+		rep.Parts = append(rep.Parts, cov)
+		if !cov.Intact() {
+			rep.Complete = false
+			if opt.Strict {
+				return rep, fmt.Errorf("dataset: merge %s: part damaged (%d/%d blocks intact) in strict mode",
+					path, cov.BlocksRecovered, cov.BlocksExpected)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func mergePart(path string, emit telemetry.EmitFunc, opt MergeOptions) (PartCoverage, error) {
+	cov := PartCoverage{Name: filepath.Base(path), ChecksumOK: true}
+	data, retries, err := readFileRetry(path, opt)
+	cov.Retries = retries
+	if err != nil {
+		return cov, err
+	}
+
+	if want, ok := opt.Expected[cov.Name]; ok {
+		cov.BlocksExpected = int(want.Blocks)
+		got := fmt.Sprintf("%08x", crc32.Checksum(data, headerCastagnoli))
+		cov.ChecksumOK = got == want.CRC32C
+	}
+
+	// Strip the dataset header when present; a raw stream (signature at
+	// byte zero) is salvaged whole.
+	stream := data
+	if !(len(data) >= 3 && bytes.HasPrefix(data, []byte("uv6"))) {
+		if len(data) < headerSize {
+			cov.SkippedBytes = int64(len(data))
+			return cov, nil
+		}
+		stream = data[headerSize:]
+	}
+
+	sr, serr := telemetry.SalvageBytes(stream, emit)
+	cov.BlocksRecovered = sr.Blocks
+	cov.CorruptBlocks = sr.CorruptBlocks
+	cov.Records = sr.Records
+	cov.SkippedBytes = sr.SkippedBytes
+	if cov.BlocksExpected == 0 {
+		cov.BlocksExpected = sr.Blocks + sr.CorruptBlocks
+	}
+	if serr != nil {
+		// An unrecognizable stream recovers nothing but does not abort
+		// the merge: the other parts still count. Strict mode surfaces
+		// it through the damaged-part check.
+		cov.ChecksumOK = false
+	}
+	return cov, nil
+}
+
+// readFileRetry reads path fully, retrying transient I/O errors with
+// capped exponential backoff. os.ErrNotExist is terminal on the first
+// attempt: a missing part will not appear by waiting.
+func readFileRetry(path string, opt MergeOptions) (data []byte, retries int, err error) {
+	backoff := opt.RetryBase
+	for attempt := 0; ; attempt++ {
+		data, err = readFile(path)
+		if err == nil {
+			return data, attempt, nil
+		}
+		if os.IsNotExist(err) && attempt == 0 {
+			return nil, attempt, err
+		}
+		if attempt >= opt.MaxRetries {
+			return nil, attempt, fmt.Errorf("after %d retries: %w", attempt, err)
+		}
+		retrySleep(backoff)
+		backoff *= 2
+		if backoff > opt.RetryMax {
+			backoff = opt.RetryMax
+		}
+	}
+}

@@ -80,6 +80,7 @@ type WriterV2 struct {
 	perBlock    int
 	count       int // records in the current (unflushed) block
 	n           uint64
+	blocks      uint64
 	wroteHeader bool
 }
 
@@ -142,11 +143,17 @@ func (w *WriterV2) emitBlock() error {
 	}
 	w.payload = w.payload[:0]
 	w.count = 0
+	w.blocks++
 	return nil
 }
 
 // Count returns the number of records written.
 func (w *WriterV2) Count() uint64 { return w.n }
+
+// Blocks returns the number of frames emitted so far (the block in
+// progress is not counted until it is flushed). Sharded sinks record it
+// per part so a merge can verify per-part coverage.
+func (w *WriterV2) Blocks() uint64 { return w.blocks }
 
 // Flush emits the partial block in progress (if any) and drains the
 // buffer. An empty stream still gets its signature, so a zero-record
@@ -267,6 +274,15 @@ func Salvage(r io.Reader, emit EmitFunc) (SalvageReport, error) {
 	if err != nil {
 		return SalvageReport{}, fmt.Errorf("telemetry: salvage read: %w", err)
 	}
+	return salvageBytes(data, emit)
+}
+
+// SalvageBytes is Salvage over an in-memory stream. Callers that manage
+// their own I/O (e.g. a merge engine retrying transient read errors
+// before decoding) use it to keep the read and the salvage pass
+// separate: by the time SalvageBytes runs, no I/O error can interrupt
+// emission, so a retry can never deliver duplicate records.
+func SalvageBytes(data []byte, emit EmitFunc) (SalvageReport, error) {
 	return salvageBytes(data, emit)
 }
 

@@ -155,6 +155,35 @@ func (g *Generator) GenerateCtx(ctx context.Context, from, to simtime.Day, emit 
 	return g.GenerateUsersCtx(ctx, 0, len(g.Pop.Users), from, to, emit)
 }
 
+// GenerateFromCtx resumes generation at a (user, day) frontier: it
+// emits days [startDay, to] for the user at index startUser, then days
+// [from, to] for every subsequent user. Because generation is a pure
+// function of (user, day), the resumed stream is identical to the
+// suffix of a full run from that frontier onward —
+// GenerateFromCtx(ctx, 0, from, from, to, emit) is exactly
+// GenerateCtx(ctx, from, to, emit).
+func (g *Generator) GenerateFromCtx(ctx context.Context, startUser int, startDay, from, to simtime.Day, emit EmitFunc) error {
+	if startUser < 0 {
+		startUser = 0
+	}
+	if startDay < from {
+		startDay = from
+	}
+	done := ctx.Done()
+	if startUser < len(g.Pop.Users) {
+		u := &g.Pop.Users[startUser]
+		for d := startDay; d <= to; d++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			g.UserDay(u, d, emit)
+		}
+	}
+	return g.GenerateUsersCtx(ctx, startUser+1, len(g.Pop.Users), from, to, emit)
+}
+
 // UserDay emits the observations of one user on one day. It is the
 // deterministic unit of generation: the same (user, day) always yields
 // the same observations.

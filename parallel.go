@@ -52,13 +52,47 @@ func (e *ShardPanicError) Error() string {
 // Abusive telemetry is not included: attacker volume is small enough to
 // stream serially afterwards.
 func (s *Sim) GenerateParallelCtx(ctx context.Context, from, to simtime.Day, shards int, newConsumer func() telemetry.EmitFunc) error {
+	return s.GenerateParallelRangesCtx(ctx, from, to, shards, func(_, _, _ int) telemetry.EmitFunc {
+		return newConsumer()
+	})
+}
+
+// ShardRanges returns the contiguous user-index ranges [lo, hi) that
+// GenerateParallelRangesCtx assigns to each shard for the given shard
+// count (0 means GOMAXPROCS, clamped to the population size). Sharded
+// sinks use it to size manifests before generation starts.
+func (s *Sim) ShardRanges(shards int) [][2]int {
+	users := len(s.Pop.Users)
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	users := len(s.Pop.Users)
 	if shards > users {
 		shards = users
 	}
+	var out [][2]int
+	if shards == 0 {
+		return out
+	}
+	per := (users + shards - 1) / shards
+	for sh := 0; sh < shards; sh++ {
+		lo := sh * per
+		hi := min(lo+per, users)
+		if lo >= hi {
+			break
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// GenerateParallelRangesCtx is GenerateParallelCtx with the shard's
+// identity exposed: newConsumer receives the shard index and its
+// user-index range [lo, hi), which per-shard sinks (sharded dataset
+// part files, manifest bookkeeping) need to label their output.
+// Factories run serially, in shard order, before any generation
+// starts, so they may append to shared state without locking.
+func (s *Sim) GenerateParallelRangesCtx(ctx context.Context, from, to simtime.Day, shards int, newConsumer func(shard, lo, hi int) telemetry.EmitFunc) error {
+	ranges := s.ShardRanges(shards)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -79,14 +113,9 @@ func (s *Sim) GenerateParallelCtx(ctx context.Context, from, to simtime.Day, sha
 	}
 
 	var wg sync.WaitGroup
-	per := (users + shards - 1) / shards
-	for sh := 0; sh < shards; sh++ {
-		lo := sh * per
-		hi := min(lo+per, users)
-		if lo >= hi {
-			break
-		}
-		emit := newConsumer()
+	for sh, r := range ranges {
+		lo, hi := r[0], r[1]
+		emit := newConsumer(sh, lo, hi)
 		wg.Add(1)
 		go func(sh, lo, hi int) {
 			defer wg.Done()

@@ -1,0 +1,149 @@
+package userv6
+
+// Sharded dataset export: the scale-out path for dataset generation.
+// Instead of funneling every shard's observations through one writer,
+// each generation shard streams directly into its own part-NNNN.uv6
+// dataset file, and a manifest.uv6m binds the parts together (seed,
+// config hash, per-part user ranges, block counts, checksums). Merging
+// the parts with dataset.Merge reproduces, byte for byte, the file a
+// single-writer run would have written — so export throughput scales
+// with cores (and, by splitting user ranges, with machines) without
+// giving up the canonical artifact.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"userv6/internal/dataset"
+	"userv6/internal/telemetry"
+)
+
+// PartName returns the canonical filename of part i of a sharded
+// export.
+func PartName(i int) string { return fmt.Sprintf("part-%04d.uv6", i) }
+
+// ExportShardedCtx generates the telemetry described by meta (window,
+// benign-only flag) into dir as per-shard dataset part files plus a
+// manifest, using shards concurrent generators (0 means GOMAXPROCS).
+// Benign shards cover contiguous ascending user ranges; unless
+// meta.BenignOnly is set, the abusive stream is generated serially
+// into one trailing part, preserving the single-writer order (benign
+// users ascending, then abusive). wrap, when non-nil, decorates each
+// part's emit func — the hook where deterministic samplers attach.
+//
+// On any failure every temp file is aborted and already-finalized
+// parts are removed, so dir never holds a half-written export with a
+// manifest. Cancellation stops generation within one (user, day)
+// batch.
+func (s *Sim) ExportShardedCtx(ctx context.Context, dir string, shards int, meta dataset.Meta, wrap func(telemetry.EmitFunc) telemetry.EmitFunc) (*dataset.Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("userv6: export dir: %w", err)
+	}
+	from, to := meta.Window()
+	ranges := s.ShardRanges(shards)
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("userv6: empty population, nothing to export")
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type part struct {
+		w    *dataset.Writer
+		info dataset.PartInfo
+		err  error
+	}
+	parts := make([]*part, 0, len(ranges)+1)
+
+	// openPart creates one part sink; write errors cancel the run but
+	// are remembered per part so the first real error surfaces.
+	openPart := func(i int, info dataset.PartInfo) (*part, telemetry.EmitFunc) {
+		p := &part{info: info}
+		w, err := dataset.Create(filepath.Join(dir, info.Name), meta)
+		if err != nil {
+			p.err = err
+			cancel()
+			parts = append(parts, p)
+			return p, func(telemetry.Observation) {}
+		}
+		p.w = w
+		parts = append(parts, p)
+		emit := func(o telemetry.Observation) {
+			if p.err == nil {
+				if werr := w.Write(o); werr != nil {
+					p.err = werr
+					cancel()
+				}
+			}
+		}
+		if wrap != nil {
+			return p, wrap(emit)
+		}
+		return p, emit
+	}
+
+	abortAll := func() {
+		for _, p := range parts {
+			if p.w != nil {
+				p.w.Abort()
+			}
+			os.Remove(filepath.Join(dir, p.info.Name))
+		}
+	}
+
+	genErr := s.GenerateParallelRangesCtx(ctx, from, to, shards, func(sh, lo, hi int) telemetry.EmitFunc {
+		_, emit := openPart(sh, dataset.PartInfo{
+			Name: PartName(sh), Kind: dataset.PartKindBenign, UserLo: lo, UserHi: hi,
+		})
+		return emit
+	})
+	for _, p := range parts {
+		if p.err != nil {
+			genErr = p.err
+			break
+		}
+	}
+	if genErr == nil && !meta.BenignOnly {
+		p, emit := openPart(len(parts), dataset.PartInfo{
+			Name: PartName(len(parts)), Kind: dataset.PartKindAbusive,
+		})
+		if p.err == nil {
+			s.Abusive.Generate(from, to, emit)
+		}
+		genErr = p.err
+	}
+	if genErr != nil {
+		abortAll()
+		return nil, genErr
+	}
+
+	man := &dataset.Manifest{
+		Version:    dataset.ManifestVersion,
+		Seed:       meta.Seed,
+		ConfigHash: dataset.ConfigHash(meta),
+		Shards:     len(ranges),
+		Meta:       meta,
+	}
+	for _, p := range parts {
+		if err := p.w.Close(); err != nil {
+			abortAll()
+			return nil, err
+		}
+		p.info.Records = p.w.Records()
+		p.info.Blocks = p.w.Blocks()
+		crc, err := dataset.FileCRC32C(filepath.Join(dir, p.info.Name))
+		if err != nil {
+			abortAll()
+			return nil, err
+		}
+		p.info.CRC32C = crc
+		man.Parts = append(man.Parts, p.info)
+	}
+	if err := dataset.WriteManifest(filepath.Join(dir, dataset.ManifestName), man); err != nil {
+		abortAll()
+		return nil, err
+	}
+	return man, nil
+}
