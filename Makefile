@@ -1,9 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
-# The CI bench gate: one pass over the generation, codec, and trie hot
-# paths, checked against bench/BENCH_baseline.json (3x tripwire).
-BENCH_GATE = ^(BenchmarkGenerateWeek|BenchmarkGenerateDay|BenchmarkWriterV2|BenchmarkReaderV2|BenchmarkTrieUpdate|BenchmarkTrieLookup|BenchmarkRollup)$$
-BENCH_PKGS = . ./internal/telemetry ./internal/trie
+# The CI bench gate: one pass over the generation, codec, trie, and
+# analysis hot paths, checked against bench/BENCH_baseline.json (3x
+# tripwire on PRs; the nightly run re-gates the same set at 1.3x with
+# real -benchtime sampling).
+BENCH_GATE = ^(BenchmarkGenerateWeek|BenchmarkGenerateDay|BenchmarkWriterV2|BenchmarkReaderV2|BenchmarkTrieUpdate|BenchmarkTrieLookup|BenchmarkRollup|BenchmarkUserCentricObserve|BenchmarkIPCentricObserve|BenchmarkAnalyzeSequential|BenchmarkAnalyzeParallel)$$
+BENCH_PKGS = . ./internal/telemetry ./internal/trie ./internal/core
+NIGHTLY_BENCHTIME = 2s
 FUZZ_TARGETS = \
 	./internal/telemetry:FuzzReader \
 	./internal/telemetry:FuzzSalvage \
@@ -53,9 +56,22 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=1x $(BENCH_PKGS) 2>&1 | tee bench-smoke.txt
 	$(GO) run ./cmd/benchgate -in bench-smoke.txt -baseline bench/BENCH_baseline.json -out BENCH_results.json -update
 
+# Nightly benchmark gate: the same benchmark set with real sampling
+# (-benchtime=$(NIGHTLY_BENCHTIME)) and a much tighter ratio, to catch
+# the slow drift the 3x PR tripwire deliberately ignores.
+bench-nightly:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=$(NIGHTLY_BENCHTIME) $(BENCH_PKGS) 2>&1 | tee bench-nightly.txt
+	$(GO) run ./cmd/benchgate -in bench-nightly.txt -baseline bench/BENCH_nightly_baseline.json -out BENCH_nightly_results.json -max-ratio 1.3
+
+# Refresh the nightly baseline (run on the hardware the nightly job
+# uses; a 1.3x gate is meaningless across machine classes).
+bench-nightly-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=$(NIGHTLY_BENCHTIME) $(BENCH_PKGS) 2>&1 | tee bench-nightly.txt
+	$(GO) run ./cmd/benchgate -in bench-nightly.txt -baseline bench/BENCH_nightly_baseline.json -out BENCH_nightly_results.json -max-ratio 1.3 -update
+
 ci: fmt-check vet build race fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...
 	rm -rf internal/telemetry/testdata/fuzz internal/dataset/testdata/fuzz
-	rm -f bench-smoke.txt BENCH_results.json
+	rm -f bench-smoke.txt BENCH_results.json bench-nightly.txt BENCH_nightly_results.json

@@ -1,0 +1,78 @@
+package userv6
+
+// Benchmarks for the block-parallel analysis engine: sequential dataset
+// replay versus the parallel decode + analyzer fan-out, over the same
+// file and the same registered analyzers. The two names land side by
+// side in the bench artifact so the speedup ratio is recorded per run.
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"userv6/internal/dataset"
+)
+
+// benchAnalyzeWorkers is the pool size for the parallel benchmark;
+// speedup is only visible on multicore hardware, but correctness (and
+// the gate) holds at any core count.
+const benchAnalyzeWorkers = 4
+
+// writeBenchDataset generates one analysis week of benign telemetry for
+// the shared benchmark population into a fresh dataset file.
+func writeBenchDataset(b *testing.B) string {
+	b.Helper()
+	sim := getBenchSim()
+	from, to := AnalysisWeek()
+	path := filepath.Join(b.TempDir(), "bench.uv6")
+	w, err := dataset.Create(path, dataset.Meta{
+		Seed: 1, Users: benchUsers, FromDay: int(from), ToDay: int(to), Sample: "all",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emit, errp := w.Emit()
+	sim.Generate(from, to, emit)
+	if *errp != nil {
+		b.Fatal(*errp)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkAnalyzeSequential replays the dataset through every analyzer
+// on one goroutine — the reference the parallel engine must beat.
+func BenchmarkAnalyzeSequential(b *testing.B) {
+	path := writeBenchDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newAnalyzeSet()
+		r, err := dataset.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.ForEach(s.set.Emit()); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}
+
+// BenchmarkAnalyzeParallel runs the same replay through the
+// block-parallel pipeline: concurrent block decode + CRC, user-hash
+// routed analyzer workers, merge on close.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	path := writeBenchDataset(b)
+	sim := getBenchSim()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newAnalyzeSet()
+		if _, err := sim.AnalyzeDatasetParallel(context.Background(), path, benchAnalyzeWorkers, s.set, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

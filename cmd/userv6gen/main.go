@@ -36,6 +36,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"userv6"
@@ -80,6 +82,7 @@ func usage() {
   info     summarize a dataset file
   analyze  run the user/IP-centric analyzers over a dataset file
            -tolerant  salvage-path read: skip corrupt blocks, report coverage
+           -workers N block-parallel decode + analysis (0 = all CPUs, 1 = sequential)
   verify   check dataset integrity (block checksums, record counts)
   salvage  recover intact records from a damaged dataset into a new file
   merge    fold sharded part files into one canonical dataset`)
@@ -111,7 +114,13 @@ func runGen(args []string) {
 	sampleSpec := fs.String("sample", "all", "sampler: all, user:R, addr:R, prefixL:R")
 	shards := fs.Int("shards", 0, "sharded export: write N part files + manifest into the -o directory")
 	resume := fs.Bool("resume", false, "continue a partial dataset at -o from its last completed (user, day)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this path at exit")
 	fs.Parse(args)
+
+	stopProf := startCPUProfile(*cpuprofile)
+	defer stopProf()
+	defer writeMemProfile(*memprofile)
 
 	// A SIGINT/SIGTERM cancels generation at the next (user, day) batch;
 	// the writer then finalizes, so an interrupted run still leaves a
@@ -565,41 +574,34 @@ func runAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	in := fs.String("i", "telemetry.uv6", "input path (binary format)")
 	tolerant := fs.Bool("tolerant", false, "salvage-path read: analyze intact blocks of a damaged file and report coverage")
+	workers := fs.Int("workers", 0, "block decode + analysis workers (0 = all CPUs, 1 = sequential)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this path")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this path after analysis")
 	fs.Parse(args)
 	inputArg(fs, in)
 
+	set := core.NewAnalyzerSet()
 	uc := core.NewUserCentricFor(false)
-	ic4 := core.NewIPCentric(netaddr.IPv4, 32)
-	ic6 := core.NewIPCentric(netaddr.IPv6, 128)
-	ic64 := core.NewIPCentric(netaddr.IPv6, 64)
-	observe := func(o telemetry.Observation) {
-		uc.Observe(o)
-		ic4.Observe(o)
-		ic6.Observe(o)
-		ic64.Observe(o)
+	core.AddAnalyzer(set, uc,
+		func() *core.UserCentric { return core.NewUserCentricFor(false) }, (*core.UserCentric).Merge)
+	addIC := func(fam netaddr.Family, length int) *core.IPCentric {
+		ic := core.NewIPCentric(fam, length)
+		core.AddAnalyzer(set, ic,
+			func() *core.IPCentric { return core.NewIPCentric(fam, length) }, (*core.IPCentric).Merge)
+		return ic
 	}
+	ic4 := addIC(netaddr.IPv4, 32)
+	ic6 := addIC(netaddr.IPv6, 128)
+	ic64 := addIC(netaddr.IPv6, 64)
 
-	if *tolerant {
-		// Mirror of the hitlist pipelines on partially aliased input:
-		// analyze every block that verifies, skip the damage, and say
-		// how much of the file the results describe.
-		rep, err := dataset.Salvage(*in, observe)
-		if err != nil {
-			fatal(err)
-		}
-		if rep.StreamErr != "" {
-			fatal(fmt.Errorf("analyze -tolerant: %s", rep.StreamErr))
-		}
-		total := rep.Stream.Blocks + rep.Stream.CorruptBlocks
-		fmt.Printf("tolerant read: analyzed %d of %d blocks (%d records; %d corrupt blocks, %d bytes skipped)\n\n",
-			rep.Stream.Blocks, total, rep.Stream.Records,
-			rep.Stream.CorruptBlocks, rep.Stream.SkippedBytes)
+	stopProf := startCPUProfile(*cpuprofile)
+	if *workers == 1 {
+		analyzeSequential(*in, *tolerant, set)
 	} else {
-		r := openReader(*in)
-		if err := r.ForEach(observe); err != nil {
-			fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
-		}
+		analyzeParallel(*in, *tolerant, *workers, set)
 	}
+	stopProf()
+	writeMemProfile(*memprofile)
 
 	h4, h6 := uc.AddrsPerUser(netaddr.IPv4), uc.AddrsPerUser(netaddr.IPv6)
 	report.NewTable("metric", "IPv4", "IPv6").
@@ -614,6 +616,109 @@ func runAnalyze(args []string) {
 	pat := uc.AddrPatterns()
 	fmt.Printf("EUI-64 users: %s; transition-protocol users: %s\n",
 		report.Percent(pat.EUI64Share), report.Percent(pat.TeredoShare+pat.SixToFourShare))
+}
+
+// analyzeSequential is the -workers 1 path: the original single-thread
+// read, kept as the reference the parallel pipeline must match.
+func analyzeSequential(in string, tolerant bool, set *core.AnalyzerSet) {
+	if tolerant {
+		// Mirror of the hitlist pipelines on partially aliased input:
+		// analyze every block that verifies, skip the damage, and say
+		// how much of the file the results describe.
+		rep, err := dataset.Salvage(in, set.Emit())
+		if err != nil {
+			fatal(err)
+		}
+		if rep.StreamErr != "" {
+			fatal(fmt.Errorf("analyze -tolerant: %s", rep.StreamErr))
+		}
+		if rep.HeaderOK && rep.HeaderErr == "" {
+			m := rep.Meta
+			fmt.Printf("dataset: seed=%d users=%d days=%d..%d sample=%s records=%d\n\n",
+				m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.Records)
+		}
+		printCoverage(rep.Stream)
+		return
+	}
+	r := openReader(in)
+	if err := r.ForEach(set.Emit()); err != nil {
+		fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
+	}
+}
+
+// analyzeParallel reads the dataset through the block-parallel decode
+// pool and fans records out to per-worker analyzer replicas routed by
+// user hash; results are identical to the sequential path.
+func analyzeParallel(in string, tolerant bool, workers int, set *core.AnalyzerSet) {
+	pr, err := dataset.OpenParallel(in, dataset.ParallelOptions{Workers: workers, Tolerant: tolerant})
+	if err != nil {
+		fatal(err)
+	}
+	defer pr.Close()
+	if !pr.Raw() {
+		m := pr.Meta()
+		fmt.Printf("dataset: seed=%d users=%d days=%d..%d sample=%s records=%d\n\n",
+			m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.Records)
+	}
+
+	pipe := set.NewPipeline(workers)
+	err = pr.ForEachBatch(context.Background(), func(b dataset.Batch) error {
+		pipe.ObserveBatch(b.Recs)
+		return nil
+	})
+	if err != nil {
+		pipe.Close()
+		fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
+	}
+	if err := pipe.Close(); err != nil {
+		fatal(err)
+	}
+	if rep, ok := pr.Coverage(); ok {
+		printCoverage(rep)
+	}
+}
+
+func printCoverage(rep telemetry.SalvageReport) {
+	total := rep.Blocks + rep.CorruptBlocks
+	fmt.Printf("tolerant read: analyzed %d of %d blocks (%d records; %d corrupt blocks, %d bytes skipped)\n\n",
+		rep.Blocks, total, rep.Records, rep.CorruptBlocks, rep.SkippedBytes)
+}
+
+// startCPUProfile begins CPU profiling when path is non-empty and
+// returns the stop function (a no-op otherwise).
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile snapshots the heap to path (after a GC, so the
+// profile reflects live memory) when path is non-empty.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
 }
 
 // streamSource abstracts dataset and raw binary inputs.

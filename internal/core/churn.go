@@ -98,6 +98,28 @@ func (c *ChurnAttribution) Observe(o telemetry.Observation) {
 	}
 }
 
+// Merge folds another attribution's state into c: the pair-history sets
+// are unioned and the cause tallies summed. Unlike the purely
+// set-algebraic analyzers, churn attribution is order-dependent within a
+// user's stream, so the merge is exact only when the two analyzers saw
+// disjoint user populations (each user's full, in-order history went to
+// exactly one of them) and both use the same CountFrom. That is
+// precisely the split the user-hash pipeline produces.
+func (c *ChurnAttribution) Merge(other *ChurnAttribution) {
+	for k := range other.seenAddr {
+		c.seenAddr[k] = struct{}{}
+	}
+	for k := range other.seen64 {
+		c.seen64[k] = struct{}{}
+	}
+	for k := range other.seen44 {
+		c.seen44[k] = struct{}{}
+	}
+	for i, n := range other.counts {
+		c.counts[i] += n
+	}
+}
+
 // ChurnBreakdown is the attribution result.
 type ChurnBreakdown struct {
 	IIDRotation, SubnetMove, NetworkSwitch uint64

@@ -70,6 +70,24 @@ func (l *Lifespans) Observe(o telemetry.Observation) {
 	}
 }
 
+// Merge folds another analyzer's pair state into l: first-seen days take
+// the minimum and reference-day sightings are ORed, so the result is
+// exact for any split of the observation stream. Both analyzers must use
+// the same Ref, lengths, and restriction.
+func (l *Lifespans) Merge(other *Lifespans) {
+	for key, op := range other.pairs {
+		p := l.pairs[key]
+		if p == nil {
+			l.pairs[key] = &pairLife{first: op.first, onRef: op.onRef}
+			continue
+		}
+		if op.first < p.first {
+			p.first = op.first
+		}
+		p.onRef = p.onRef || op.onRef
+	}
+}
+
 // AgeHist returns the histogram of pair ages (days since first seen,
 // 0 = first seen on the reference day) for pairs of the given family and
 // prefix length observed on the reference day (Figure 5's "across all

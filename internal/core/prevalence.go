@@ -111,6 +111,58 @@ func (p *Prevalence) Observe(o telemetry.Observation) {
 	}
 }
 
+// Merge folds another tracker's state into p, exactly for any split of
+// the observation stream: request tallies sum, the per-(user, window)
+// bitmasks OR, and the ASN/country user tallies are recomputed
+// incrementally from the mask transitions — a user contributes to an
+// entity's count the first time any shard saw them, and to its v6 count
+// the first time any shard saw them over IPv6.
+func (p *Prevalence) Merge(other *Prevalence) {
+	for day, od := range other.days {
+		d := p.days[day]
+		if d == nil {
+			d = &dayTally{}
+			p.days[day] = d
+		}
+		d.reqV4 += od.reqV4
+		d.reqV6 += od.reqV6
+	}
+	for k, m := range other.userSeen {
+		p.userSeen[k] |= m
+	}
+	for k, m := range other.asnSeen {
+		prev := p.asnSeen[k]
+		p.asnSeen[k] = prev | m
+		t := p.asn[k.asn]
+		if t == nil {
+			t = &ratioTally{}
+			p.asn[k.asn] = t
+		}
+		if prev == 0 && m != 0 {
+			t.users++
+		}
+		if prev&2 == 0 && m&2 != 0 {
+			t.v6Users++
+		}
+	}
+	for k, m := range other.countrySeen {
+		prev := p.countrySeen[k]
+		p.countrySeen[k] = prev | m
+		cc := string(k.cc[:])
+		t := p.country[cc]
+		if t == nil {
+			t = &ratioTally{}
+			p.country[cc] = t
+		}
+		if prev == 0 && m != 0 {
+			t.users++
+		}
+		if prev&2 == 0 && m&2 != 0 {
+			t.v6Users++
+		}
+	}
+}
+
 // DayShare is one day's IPv6 prevalence.
 type DayShare struct {
 	Day                  simtime.Day

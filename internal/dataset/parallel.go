@@ -1,0 +1,420 @@
+package dataset
+
+// Block-parallel dataset reading. The v2 format's independently
+// checksummed, independently decodable blocks are the natural unit of
+// parallelism: a single goroutine performs the sequential disk I/O
+// (frame scanning), a worker pool verifies checksums and decodes
+// records, and batches are delivered either in exact stream order (for
+// byte-exact tooling and order-sensitive analyzers) or as they complete
+// (for commutative consumers). Tolerant reads — the salvage path that
+// skips corrupt blocks and reports coverage — go through the same pool.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"userv6/internal/telemetry"
+)
+
+// ParallelOptions tunes a ParallelReader.
+type ParallelOptions struct {
+	// Workers is the decode pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Unordered delivers batches as workers finish them instead of in
+	// stream order, and invokes the callback concurrently from the
+	// worker goroutines. Only consumers whose accumulation is
+	// commutative (and whose callback is safe for concurrent use)
+	// should opt in; everything else wants the default ordered mode.
+	Unordered bool
+	// Tolerant switches to the salvage read path: corrupt blocks are
+	// skipped instead of failing the read, and Coverage reports what
+	// fraction of the stream the delivered records describe. The whole
+	// stream is buffered in memory, like Salvage.
+	Tolerant bool
+}
+
+// Batch is one decoded block of records. The slice is recycled after
+// the delivery callback returns; consumers must copy any records they
+// retain (Observation is a value type, so plain assignment copies).
+type Batch struct {
+	// Index is the block's 0-based position in the stream. In tolerant
+	// mode indexes count intact blocks only.
+	Index int
+	// Recs holds the block's decoded records in stream order.
+	Recs []telemetry.Observation
+}
+
+// ParallelReader reads a dataset file with concurrent block decode. It
+// accepts everything Open and Salvage accept: headered dataset files
+// (v1 or v2 stream) and headerless raw telemetry streams.
+type ParallelReader struct {
+	f    *os.File
+	meta Meta
+	raw  bool
+	opts ParallelOptions
+
+	consumed bool
+	coverage telemetry.SalvageReport
+	covered  bool
+}
+
+// OpenParallel opens path for parallel reading and parses its header
+// (verifying the header CRC like Open). A file that starts directly
+// with a telemetry signature is accepted as a headerless raw stream
+// with zero Meta.
+func OpenParallel(path string, opts ParallelOptions) (*ParallelReader, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open: %w", err)
+	}
+	hdr := make([]byte, headerSize)
+	n, err := io.ReadFull(f, hdr)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		f.Close()
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	pr := &ParallelReader{f: f, opts: opts}
+	if n >= 3 && hdr[0] == 'u' && hdr[1] == 'v' && hdr[2] == '6' {
+		pr.raw = true
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dataset: seek: %w", err)
+		}
+		return pr, nil
+	}
+	if n != headerSize {
+		f.Close()
+		return nil, fmt.Errorf("dataset: read header: %w", io.ErrUnexpectedEOF)
+	}
+	if err := json.Unmarshal(trimHeader(hdr), &pr.meta); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dataset: parse header: %w", err)
+	}
+	if err := verifyHeaderCRC(hdr, pr.meta); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return pr, nil
+}
+
+// Meta returns the dataset metadata (zero for raw streams).
+func (pr *ParallelReader) Meta() Meta { return pr.meta }
+
+// Raw reports whether the file is a headerless telemetry stream.
+func (pr *ParallelReader) Raw() bool { return pr.raw }
+
+// Coverage returns the salvage report of a completed tolerant read and
+// whether one has run. It mirrors Scan's accounting exactly: the same
+// blocks are counted intact, corrupt, or skipped.
+func (pr *ParallelReader) Coverage() (telemetry.SalvageReport, bool) {
+	return pr.coverage, pr.covered
+}
+
+// Close closes the underlying file.
+func (pr *ParallelReader) Close() error { return pr.f.Close() }
+
+// ForEach streams every record through fn in exact stream order, like
+// Reader.ForEach, with decode parallelized across the pool.
+func (pr *ParallelReader) ForEach(fn telemetry.EmitFunc) error {
+	if pr.opts.Unordered {
+		return errors.New("dataset: ForEach requires ordered delivery (use ForEachBatch for unordered reads)")
+	}
+	return pr.ForEachBatch(context.Background(), func(b Batch) error {
+		for _, o := range b.Recs {
+			fn(o)
+		}
+		return nil
+	})
+}
+
+// ForEachBatch decodes the stream through the worker pool and delivers
+// each block's records to fn. In ordered mode (the default) fn is
+// invoked from the calling goroutine, one batch at a time, in stream
+// order — a strict-mode corrupt-block error surfaces only after every
+// block before it has been delivered, exactly like the sequential
+// reader. In unordered mode fn is invoked concurrently from the worker
+// goroutines in completion order. A non-nil error from fn cancels the
+// read and is returned. The reader is single-use: a second call
+// returns an error.
+func (pr *ParallelReader) ForEachBatch(ctx context.Context, fn func(Batch) error) error {
+	if pr.consumed {
+		return errors.New("dataset: stream already consumed")
+	}
+	pr.consumed = true
+	if pr.opts.Tolerant {
+		return pr.runTolerant(ctx, fn)
+	}
+	return pr.runStrict(ctx, fn)
+}
+
+// result is one decoded block (or a positioned error) on its way from
+// the pool to delivery. In unordered mode only errors flow through.
+type result struct {
+	idx  int
+	recs []telemetry.Observation
+	err  error
+}
+
+// pools recycles payload and record-batch scratch buffers across
+// blocks, so a steady-state read allocates nothing per block.
+type pools struct {
+	payload sync.Pool
+	recs    sync.Pool
+}
+
+func (p *pools) getPayload() []byte {
+	if b, ok := p.payload.Get().(*[]byte); ok {
+		return *b
+	}
+	return nil
+}
+
+func (p *pools) putPayload(b []byte) {
+	if b != nil {
+		p.payload.Put(&b)
+	}
+}
+
+func (p *pools) getRecs() []telemetry.Observation {
+	if b, ok := p.recs.Get().(*[]telemetry.Observation); ok {
+		return (*b)[:0]
+	}
+	return make([]telemetry.Observation, 0, telemetry.DefaultBlockRecords)
+}
+
+func (p *pools) putRecs(b []telemetry.Observation) {
+	if b != nil {
+		p.recs.Put(&b)
+	}
+}
+
+func (pr *ParallelReader) runStrict(ctx context.Context, fn func(Batch) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var bufs pools
+	jobs := make(chan telemetry.RawBlock, pr.opts.Workers)
+	results := make(chan result, pr.opts.Workers*2)
+
+	// Scanner: sequential frame I/O. A scan error is assigned the index
+	// the next block would have carried, so ordered delivery emits it
+	// after every block before the damage — like the sequential reader.
+	go func() {
+		defer close(jobs)
+		br := telemetry.NewBlockReader(bufio.NewReaderSize(pr.f, 1<<20))
+		idx := 0
+		for {
+			blk, err := br.Next(bufs.getPayload())
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				select {
+				case results <- result{idx: idx, err: err}:
+				case <-ctx.Done():
+				}
+				return
+			}
+			idx = blk.Index + 1
+			select {
+			case jobs <- blk:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Workers: CRC verify + decode; in unordered mode they also deliver.
+	var wg sync.WaitGroup
+	for w := 0; w < pr.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for blk := range jobs {
+				recs, err := blk.Decode(bufs.getRecs())
+				bufs.putPayload(blk.Payload)
+				if err == nil && pr.opts.Unordered {
+					err = fn(Batch{Index: blk.Index, Recs: recs})
+					bufs.putRecs(recs)
+					if err == nil {
+						continue
+					}
+					recs = nil
+				}
+				if err != nil {
+					recs = nil
+				}
+				select {
+				case results <- result{idx: blk.Index, recs: recs, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	if err := pr.deliver(cancel, results, fn, &bufs); err != nil {
+		return err
+	}
+	// deliver only cancels after recording an error, so a cancelled
+	// context here means the caller's ctx fired mid-read.
+	return ctx.Err()
+}
+
+// Note that the scan error carries the index where the sequential
+// reader would have failed; in the strict path corruption anywhere
+// fails the read, but ordered delivery still hands over every block
+// before the damage first, mirroring Reader.ForEach exactly.
+
+func (pr *ParallelReader) runTolerant(ctx context.Context, fn func(Batch) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Buffer the stream like Salvage: resynchronization needs random
+	// access, and salvage is an offline recovery path, not a hot one.
+	data, err := io.ReadAll(bufio.NewReaderSize(pr.f, 1<<20))
+	if err != nil {
+		return fmt.Errorf("dataset: salvage read: %w", err)
+	}
+
+	var bufs pools
+	type job struct {
+		idx     int
+		payload []byte
+	}
+	jobs := make(chan job, pr.opts.Workers)
+	results := make(chan result, pr.opts.Workers*2)
+
+	// Scanner: the sequential marker-resync walk, checksums included —
+	// the resync position depends on each candidate frame's checksum
+	// verdict, so deferring verification would change what salvage
+	// recovers. Workers get the already-verified payloads to decode.
+	var (
+		rep     telemetry.SalvageReport
+		scanErr error
+	)
+	go func() {
+		defer close(jobs)
+		idx := 0
+		rep, scanErr = telemetry.SalvageBlocks(data, func(payload []byte, count int) {
+			select {
+			case jobs <- job{idx: idx, payload: payload}:
+				idx++
+			case <-ctx.Done():
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < pr.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				recs := telemetry.AppendRecords(bufs.getRecs(), j.payload)
+				var err error
+				if pr.opts.Unordered {
+					err = fn(Batch{Index: j.idx, Recs: recs})
+					bufs.putRecs(recs)
+					if err == nil {
+						continue
+					}
+					recs = nil
+				}
+				select {
+				case results <- result{idx: j.idx, recs: recs, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	if err := pr.deliver(cancel, results, fn, &bufs); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// The report is safe to read: SalvageBlocks returned before the
+	// deferred close(jobs), which happens-before the pool drained and
+	// deliver observed the closed results channel.
+	if scanErr != nil {
+		return scanErr
+	}
+	pr.coverage, pr.covered = rep, true
+	return nil
+}
+
+// deliver consumes results until the pool drains. Ordered mode holds
+// out-of-order blocks back until their predecessors have been handed to
+// fn; unordered mode only watches for errors (delivery already happened
+// in the workers). On the first error it cancels the pipeline and keeps
+// draining so no goroutine is left blocked on a send.
+func (pr *ParallelReader) deliver(cancel context.CancelFunc, results <-chan result, fn func(Batch) error, bufs *pools) error {
+	var (
+		firstErr error
+		next     int
+		held     = make(map[int]result)
+	)
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	for r := range results {
+		if r.err != nil {
+			if pr.opts.Unordered || firstErr != nil {
+				fail(r.err)
+				continue
+			}
+			// Ordered: the error waits its turn like any block.
+		}
+		if pr.opts.Unordered {
+			continue
+		}
+		held[r.idx] = r
+		for {
+			h, ok := held[next]
+			if !ok {
+				break
+			}
+			delete(held, next)
+			if firstErr != nil {
+				bufs.putRecs(h.recs)
+				next++
+				continue
+			}
+			if h.err != nil {
+				fail(h.err)
+				next++
+				continue
+			}
+			if err := fn(Batch{Index: next, Recs: h.recs}); err != nil {
+				fail(err)
+			}
+			bufs.putRecs(h.recs)
+			next++
+		}
+	}
+	return firstErr
+}

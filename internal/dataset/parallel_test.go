@@ -1,0 +1,390 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"userv6/internal/telemetry"
+)
+
+// readSequential drains a dataset with the plain Reader.
+func readSequential(t *testing.T, path string) []telemetry.Observation {
+	t.Helper()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out []telemetry.Observation
+	if err := r.ForEach(func(o telemetry.Observation) { out = append(out, o) }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// readParallel drains a dataset with a ParallelReader in ordered mode.
+func readParallel(t *testing.T, path string, opts ParallelOptions) []telemetry.Observation {
+	t.Helper()
+	pr, err := OpenParallel(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	var out []telemetry.Observation
+	if err := pr.ForEach(func(o telemetry.Observation) { out = append(out, o) }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sameRecords(t *testing.T, got, want []telemetry.Observation) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func sortObs(obs []telemetry.Observation) {
+	sort.Slice(obs, func(i, j int) bool {
+		a, b := obs[i], obs[j]
+		if a.UserID != b.UserID {
+			return a.UserID < b.UserID
+		}
+		return a.Requests < b.Requests
+	})
+}
+
+func TestParallelReaderOrderedMatchesSequential(t *testing.T) {
+	in := sample(5000) // ~5 default-size blocks
+	path := writeDataset(t, in)
+	want := readSequential(t, path)
+	for _, workers := range []int{1, 4} {
+		got := readParallel(t, path, ParallelOptions{Workers: workers})
+		sameRecords(t, got, want)
+	}
+}
+
+func TestParallelReaderMeta(t *testing.T) {
+	path := writeDataset(t, sample(100))
+	pr, err := OpenParallel(path, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	if pr.Raw() {
+		t.Fatal("headered dataset reported as raw")
+	}
+	if m := pr.Meta(); m.Seed != 3 || m.Records != 100 || !m.Complete {
+		t.Fatalf("meta = %+v", m)
+	}
+}
+
+func TestParallelReaderBatchIndexesOrdered(t *testing.T) {
+	path := writeDataset(t, sample(4500))
+	pr, err := OpenParallel(path, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	next := 0
+	if err := pr.ForEachBatch(context.Background(), func(b Batch) error {
+		if b.Index != next {
+			t.Fatalf("batch index %d, want %d", b.Index, next)
+		}
+		next++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next != 5 {
+		t.Fatalf("saw %d batches, want 5", next)
+	}
+}
+
+func TestParallelReaderUnorderedMultisetEqual(t *testing.T) {
+	in := sample(5000)
+	path := writeDataset(t, in)
+	want := readSequential(t, path)
+
+	pr, err := OpenParallel(path, ParallelOptions{Workers: 4, Unordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	var (
+		mu  sync.Mutex
+		got []telemetry.Observation
+	)
+	if err := pr.ForEachBatch(context.Background(), func(b Batch) error {
+		mu.Lock()
+		got = append(got, b.Recs...) // Observation is a value; append copies
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sortObs(got)
+	sortObs(want)
+	sameRecords(t, got, want)
+}
+
+func TestParallelReaderRawStream(t *testing.T) {
+	// A headerless file produced by the raw telemetry writer.
+	in := sample(2500)
+	path := filepath.Join(t.TempDir(), "raw.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := telemetry.NewWriterV2(f)
+	for _, o := range in {
+		if err := w.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, err := OpenParallel(path, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	if !pr.Raw() {
+		t.Fatal("raw stream not detected")
+	}
+	var got []telemetry.Observation
+	if err := pr.ForEach(func(o telemetry.Observation) { got = append(got, o) }); err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, got, in)
+}
+
+// A corrupt block in strict mode fails the read with a typed error, but
+// only after every preceding block has been delivered in order — the
+// exact behavior of the sequential reader.
+func TestParallelReaderStrictCorruptBlock(t *testing.T) {
+	in := sample(5000)
+	path := writeDataset(t, in)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte deep in the stream: past the dataset header, the
+	// stream signature, and two default-size blocks.
+	off := headerSize + 4 + 2*(16+1024*40) + 16 + 200
+	raw[off] ^= 0x01
+	bad := filepath.Join(t.TempDir(), "bad.uv6")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential reference: records recovered before the failure.
+	var want []telemetry.Observation
+	r, err := Open(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serr := r.ForEach(func(o telemetry.Observation) { want = append(want, o) })
+	r.Close()
+	if !errors.Is(serr, telemetry.ErrCorrupt) {
+		t.Fatalf("sequential reader: want ErrCorrupt, got %v", serr)
+	}
+
+	pr, err := OpenParallel(bad, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	var got []telemetry.Observation
+	perr := pr.ForEach(func(o telemetry.Observation) { got = append(got, o) })
+	if !errors.Is(perr, telemetry.ErrCorrupt) {
+		t.Fatalf("parallel reader: want ErrCorrupt, got %v", perr)
+	}
+	var ce *telemetry.CorruptError
+	if !errors.As(perr, &ce) || ce.Block != 2 {
+		t.Fatalf("want *CorruptError for block 2, got %v", perr)
+	}
+	sameRecords(t, got, want)
+}
+
+// Tolerant parallel reads must recover exactly what Salvage recovers
+// and report identical coverage.
+func TestParallelReaderTolerantMatchesSalvage(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"intact", func(b []byte) []byte { return b }},
+		{"corrupt-middle", func(b []byte) []byte {
+			b[headerSize+4+(16+1024*40)+16+99] ^= 0x80
+			return b
+		}},
+		{"torn-tail", func(b []byte) []byte { return b[:len(b)-41] }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeDataset(t, sample(5000))
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad := filepath.Join(t.TempDir(), "bad.uv6")
+			if err := os.WriteFile(bad, tc.mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			var want []telemetry.Observation
+			wantRep, err := Salvage(bad, func(o telemetry.Observation) { want = append(want, o) })
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			got := readParallel(t, bad, ParallelOptions{Workers: 4, Tolerant: true})
+			sameRecords(t, got, want)
+
+			// Coverage accounting must match the sequential salvage walk.
+			pr, err := OpenParallel(bad, ParallelOptions{Workers: 4, Tolerant: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pr.Close()
+			if err := pr.ForEachBatch(context.Background(), func(Batch) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+			rep, ok := pr.Coverage()
+			if !ok {
+				t.Fatal("no coverage after tolerant read")
+			}
+			if rep != wantRep.Stream {
+				t.Fatalf("coverage differs:\nparallel: %+v\n salvage: %+v", rep, wantRep.Stream)
+			}
+		})
+	}
+}
+
+func TestParallelReaderTolerantUnordered(t *testing.T) {
+	path := writeDataset(t, sample(5000))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+4+16+50] ^= 0x04 // corrupt block 0
+	bad := filepath.Join(t.TempDir(), "bad.uv6")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var want []telemetry.Observation
+	wantRep, err := Salvage(bad, func(o telemetry.Observation) { want = append(want, o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pr, err := OpenParallel(bad, ParallelOptions{Workers: 4, Unordered: true, Tolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	var (
+		mu  sync.Mutex
+		got []telemetry.Observation
+	)
+	if err := pr.ForEachBatch(context.Background(), func(b Batch) error {
+		mu.Lock()
+		got = append(got, b.Recs...)
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rep, ok := pr.Coverage(); !ok || rep != wantRep.Stream {
+		t.Fatalf("coverage %+v (ok=%v), want %+v", rep, ok, wantRep.Stream)
+	}
+	sortObs(got)
+	sortObs(want)
+	sameRecords(t, got, want)
+}
+
+func TestParallelReaderCallbackError(t *testing.T) {
+	path := writeDataset(t, sample(5000))
+	boom := errors.New("boom")
+	for _, unordered := range []bool{false, true} {
+		pr, err := OpenParallel(path, ParallelOptions{Workers: 4, Unordered: unordered})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls := 0
+		err = pr.ForEachBatch(context.Background(), func(Batch) error {
+			calls++
+			if calls == 2 {
+				return boom
+			}
+			return nil
+		})
+		pr.Close()
+		if !errors.Is(err, boom) {
+			t.Fatalf("unordered=%v: want callback error, got %v", unordered, err)
+		}
+	}
+}
+
+func TestParallelReaderContextCancel(t *testing.T) {
+	path := writeDataset(t, sample(5000))
+	pr, err := OpenParallel(path, ParallelOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	err = pr.ForEachBatch(ctx, func(b Batch) error {
+		cancel() // fire mid-read
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestParallelReaderSingleUse(t *testing.T) {
+	path := writeDataset(t, sample(100))
+	pr, err := OpenParallel(path, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	if err := pr.ForEachBatch(context.Background(), func(Batch) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.ForEachBatch(context.Background(), func(Batch) error { return nil }); err == nil {
+		t.Fatal("second consume must fail")
+	}
+	if err := pr.ForEach(func(telemetry.Observation) {}); err == nil {
+		t.Fatal("ForEach after consume must fail")
+	}
+}
+
+func TestParallelReaderUnorderedForEachRejected(t *testing.T) {
+	path := writeDataset(t, sample(100))
+	pr, err := OpenParallel(path, ParallelOptions{Unordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	if err := pr.ForEach(func(telemetry.Observation) {}); err == nil {
+		t.Fatal("ForEach must reject unordered mode")
+	}
+}

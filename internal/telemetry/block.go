@@ -1,0 +1,228 @@
+package telemetry
+
+// Block-granular stream access: the sequential-I/O half of a parallel
+// decode pipeline. A BlockReader pulls raw frames off the stream
+// without touching their payload bytes beyond copying them in, so that
+// the CPU-heavy work — CRC verification and record decoding — can be
+// fanned out to a worker pool (dataset.ParallelReader). The v2 framing
+// makes each block independently verifiable and decodable, which is
+// exactly what makes it the unit of parallelism.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// RawBlock is one undecoded unit of a telemetry stream: a v2 frame, or
+// a pseudo-block of consecutive v1 records (v1 streams have no framing,
+// so the reader chunks them to bound batch sizes). The payload has not
+// been checksum-verified; call Verify or Decode before trusting it.
+type RawBlock struct {
+	// Index is the 0-based position of the block in the stream.
+	Index int
+	// Offset is the byte offset of the frame start within the stream.
+	Offset int64
+	// Count is the number of records the frame header claims.
+	Count int
+	// Sum is the stored CRC32C of the payload (v2 only).
+	Sum uint32
+	// Payload holds Count records of fixed size, unverified.
+	Payload []byte
+
+	version byte
+}
+
+// Checksummed reports whether the block carries a checksum to verify
+// (v2 frames do; v1 pseudo-blocks have none and always verify clean).
+func (b RawBlock) Checksummed() bool { return b.version >= 2 }
+
+// Verify checks the payload against the stored checksum, returning a
+// *CorruptError on mismatch. v1 pseudo-blocks verify vacuously.
+func (b RawBlock) Verify() error {
+	if b.version < 2 {
+		return nil
+	}
+	if got := crc32.Checksum(b.Payload, castagnoli); got != b.Sum {
+		return &CorruptError{Block: b.Index, Offset: b.Offset,
+			Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", b.Sum, got)}
+	}
+	return nil
+}
+
+// Decode verifies the block and appends its records to dst, reusing
+// dst's capacity. On a checksum mismatch dst is returned unchanged
+// alongside the *CorruptError.
+func (b RawBlock) Decode(dst []Observation) ([]Observation, error) {
+	if err := b.Verify(); err != nil {
+		return dst, err
+	}
+	return AppendRecords(dst, b.Payload), nil
+}
+
+// AppendRecords decodes a verified payload — a whole number of records
+// — appending each to dst and returning the extended slice. Callers
+// that recycle dst across blocks decode with zero per-record
+// allocations.
+func AppendRecords(dst []Observation, payload []byte) []Observation {
+	for off := 0; off+recordSize <= len(payload); off += recordSize {
+		dst = append(dst, decodeRecord(payload[off:]))
+	}
+	return dst
+}
+
+// BlockReader scans a telemetry stream frame by frame. It performs only
+// sequential I/O and frame-header sanity checks; payload checksums are
+// deliberately left to the caller (RawBlock.Verify) so verification can
+// run concurrently across blocks. The stream version is auto-detected
+// like Reader's: v2 streams yield one RawBlock per frame, v1 streams
+// yield pseudo-blocks of at most DefaultBlockRecords records.
+type BlockReader struct {
+	br         *bufio.Reader
+	hdr        [blockHeaderSize]byte
+	readHeader bool
+	version    byte
+	idx        int
+	off        int64
+	err        error // sticky: set once the stream is corrupt or done
+}
+
+// NewBlockReader returns a BlockReader wrapping r.
+func NewBlockReader(r io.Reader) *BlockReader {
+	return &BlockReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next raw block. The payload is stored in buf when
+// its capacity suffices (buf may be nil); a caller recycling buffers
+// across calls reads the stream with zero steady-state allocations.
+// io.EOF is returned only at a clean block boundary; a malformed frame
+// header or torn payload yields a *CorruptError. Errors are sticky.
+func (r *BlockReader) Next(buf []byte) (RawBlock, error) {
+	if r.err != nil {
+		return RawBlock{}, r.err
+	}
+	blk, err := r.next(buf)
+	if err != nil {
+		r.err = err
+	}
+	return blk, err
+}
+
+func (r *BlockReader) next(buf []byte) (RawBlock, error) {
+	if !r.readHeader {
+		var m [4]byte
+		if _, err := io.ReadFull(r.br, m[:]); err != nil {
+			if err == io.EOF {
+				return RawBlock{}, io.EOF
+			}
+			if err == io.ErrUnexpectedEOF {
+				return RawBlock{}, fmt.Errorf("%w (truncated signature)", ErrBadMagic)
+			}
+			return RawBlock{}, fmt.Errorf("telemetry: read header: %w", err)
+		}
+		r.off += 4
+		switch {
+		case m == magic:
+			r.version = 1
+		case m == magicV2:
+			r.version = 2
+		case m[0] == 'u' && m[1] == 'v' && m[2] == '6':
+			return RawBlock{}, fmt.Errorf("%w: %d", ErrUnsupportedVersion, m[3])
+		default:
+			return RawBlock{}, ErrBadMagic
+		}
+		r.readHeader = true
+	}
+	if r.version == 1 {
+		return r.nextV1(buf)
+	}
+	return r.nextV2(buf)
+}
+
+// nextV1 chunks the unframed v1 record stream into pseudo-blocks. A
+// trailing partial record surfaces as ErrCorrupt after the complete
+// records before it have been delivered, matching the strict Reader.
+func (r *BlockReader) nextV1(buf []byte) (RawBlock, error) {
+	const chunk = DefaultBlockRecords * recordSize
+	buf = sliceFor(buf, chunk)
+	n, err := io.ReadFull(r.br, buf)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return RawBlock{}, fmt.Errorf("telemetry: read record: %w", err)
+	}
+	if n == 0 {
+		return RawBlock{}, io.EOF
+	}
+	blk := RawBlock{
+		Index:   r.idx,
+		Offset:  r.off,
+		Count:   n / recordSize,
+		Payload: buf[:n-n%recordSize],
+		version: 1,
+	}
+	r.off += int64(n)
+	if blk.Count == 0 {
+		return RawBlock{}, fmt.Errorf("%w (truncated record)", ErrCorrupt)
+	}
+	if n%recordSize != 0 {
+		// Serve the complete records now; the torn tail errors next call.
+		r.err = fmt.Errorf("%w (truncated record)", ErrCorrupt)
+	}
+	r.idx++
+	return blk, nil
+}
+
+// nextV2 reads one frame, validating the header bounds but not the
+// payload checksum.
+func (r *BlockReader) nextV2(buf []byte) (RawBlock, error) {
+	frameOff := r.off
+	h := r.hdr[:]
+	n, err := io.ReadFull(r.br, h)
+	r.off += int64(n)
+	if err == io.EOF {
+		return RawBlock{}, io.EOF
+	}
+	if err != nil {
+		return RawBlock{}, &CorruptError{Block: r.idx, Offset: frameOff, Reason: "short frame header"}
+	}
+	if [4]byte(h[0:4]) != blockMagic {
+		return RawBlock{}, &CorruptError{Block: r.idx, Offset: frameOff, Reason: "bad block marker"}
+	}
+	length := binary.LittleEndian.Uint32(h[4:])
+	count := binary.LittleEndian.Uint32(h[8:])
+	sum := binary.LittleEndian.Uint32(h[12:])
+	if length > maxBlockPayload {
+		return RawBlock{}, &CorruptError{Block: r.idx, Offset: frameOff,
+			Reason: fmt.Sprintf("oversized frame (%d bytes)", length)}
+	}
+	if count == 0 || uint64(count)*recordSize != uint64(length) {
+		return RawBlock{}, &CorruptError{Block: r.idx, Offset: frameOff,
+			Reason: fmt.Sprintf("frame length %d / record count %d mismatch", length, count)}
+	}
+	buf = sliceFor(buf, int(length))
+	n, err = io.ReadFull(r.br, buf)
+	r.off += int64(n)
+	if err != nil {
+		return RawBlock{}, &CorruptError{Block: r.idx, Offset: frameOff, Reason: "short frame payload"}
+	}
+	blk := RawBlock{
+		Index:   r.idx,
+		Offset:  frameOff,
+		Count:   int(count),
+		Sum:     sum,
+		Payload: buf,
+		version: 2,
+	}
+	r.idx++
+	return blk, nil
+}
+
+// sliceFor returns buf resized to n bytes, reallocating only when its
+// capacity is insufficient.
+func sliceFor(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}

@@ -134,11 +134,14 @@ type Reader struct {
 	readHeader bool
 	version    byte
 
-	// v2 framing state.
+	// v2 framing state. hdr is the reusable frame-header scratch: a
+	// local [16]byte escapes through io.ReadFull's interface argument,
+	// which used to cost one heap allocation per block.
 	blk      []byte // current verified block payload
-	blkOff   int    // read cursor within blk
-	blockIdx int    // index of the next block to read
-	off      int64  // bytes consumed from the underlying stream
+	hdr      [blockHeaderSize]byte
+	blkOff   int   // read cursor within blk
+	blockIdx int   // index of the next block to read
+	off      int64 // bytes consumed from the underlying stream
 }
 
 // NewReader returns a Reader wrapping r.

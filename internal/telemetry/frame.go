@@ -185,8 +185,8 @@ func (r *Reader) readV2() (Observation, error) {
 // clean frame boundary; anything else is a *CorruptError.
 func (r *Reader) readBlock() error {
 	frameOff := r.off
-	var h [blockHeaderSize]byte
-	n, err := io.ReadFull(r.br, h[:])
+	h := r.hdr[:]
+	n, err := io.ReadFull(r.br, h)
 	r.off += int64(n)
 	if err == io.EOF {
 		return io.EOF
@@ -287,6 +287,32 @@ func SalvageBytes(data []byte, emit EmitFunc) (SalvageReport, error) {
 }
 
 func salvageBytes(data []byte, emit EmitFunc) (SalvageReport, error) {
+	var visit func(payload []byte, count int)
+	if emit != nil {
+		visit = func(payload []byte, count int) {
+			for rec := 0; rec < count; rec++ {
+				emit(decodeRecord(payload[rec*recordSize:]))
+			}
+		}
+	}
+	return salvageWalk(data, visit)
+}
+
+// SalvageBlocks walks data exactly like Salvage but delivers the intact
+// block payloads — already checksum-verified, each a whole number of
+// records — instead of decoded records, so a caller can fan record
+// decoding out to a worker pool while the marker-resync scan stays
+// sequential (the scan must know each candidate frame's checksum
+// verdict before choosing the next scan position, so the verify step
+// cannot be deferred without changing which bytes salvage recovers).
+// Payload slices alias data and stay valid as long as data does. A v1
+// stream, which has no frames, is delivered in pseudo-blocks of at most
+// DefaultBlockRecords records; the report still counts it as one block.
+func SalvageBlocks(data []byte, visit func(payload []byte, count int)) (SalvageReport, error) {
+	return salvageWalk(data, visit)
+}
+
+func salvageWalk(data []byte, visit func(payload []byte, count int)) (SalvageReport, error) {
 	var rep SalvageReport
 	if len(data) >= 4 && [4]byte(data[0:4]) == magic {
 		// v1: fixed records with no checksums — every complete record
@@ -299,9 +325,10 @@ func salvageBytes(data []byte, emit EmitFunc) (SalvageReport, error) {
 			rep.Blocks = 1
 		}
 		rep.SkippedBytes = int64(len(body) - nrec*recordSize)
-		if emit != nil {
-			for i := 0; i < nrec; i++ {
-				emit(decodeRecord(body[i*recordSize:]))
+		if visit != nil {
+			for i := 0; i < nrec; i += DefaultBlockRecords {
+				n := min(DefaultBlockRecords, nrec-i)
+				visit(body[i*recordSize:(i+n)*recordSize], n)
 			}
 		}
 		return rep, nil
@@ -329,10 +356,8 @@ func salvageBytes(data []byte, emit EmitFunc) (SalvageReport, error) {
 				rep.Blocks++
 				rep.Records += uint64(count)
 				rep.SkippedBytes += int64(i - lastEnd)
-				if emit != nil {
-					for rec := 0; rec < int(count); rec++ {
-						emit(decodeRecord(payload[rec*recordSize:]))
-					}
+				if visit != nil {
+					visit(payload, int(count))
 				}
 				i, lastEnd = end, end
 				continue

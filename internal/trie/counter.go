@@ -45,6 +45,24 @@ func (c *Counter) Add(a netaddr.Addr, delta uint64) {
 	}
 }
 
+// Merge folds other's counts into c by summing per-prefix totals at
+// every length the two counters share (lengths only one side configured
+// are skipped on that side). Addition commutes, so the result is exact
+// for any split of the Add stream across counters — the fold step for
+// analyzers that shard address attribution across workers.
+func (c *Counter) Merge(other *Counter) {
+	if other == nil {
+		return
+	}
+	for i, l := range other.lengths {
+		j := indexOfLength(c, l)
+		if j < 0 {
+			continue
+		}
+		c.tries[j].Merge(other.tries[i], func(dst *uint64, src uint64) { *dst += src })
+	}
+}
+
 // Count returns the accumulated count for prefix p, which must use one of
 // the configured lengths (otherwise 0).
 func (c *Counter) Count(p netaddr.Prefix) uint64 {

@@ -1,0 +1,157 @@
+package trie
+
+import (
+	"reflect"
+	"testing"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/rng"
+)
+
+func sumU64(dst *uint64, src uint64) { *dst += src }
+
+// collect walks a trie into a prefix→value map for equality checks.
+func collect(tr *Trie[uint64]) map[netaddr.Prefix]uint64 {
+	out := make(map[netaddr.Prefix]uint64)
+	tr.Walk(func(p netaddr.Prefix, v uint64) bool {
+		out[p] = v
+		return true
+	})
+	return out
+}
+
+func TestTrieMergeBasic(t *testing.T) {
+	a, b := New[uint64](), New[uint64]()
+	a.Set(pfx("2001:db8::/32"), 1)
+	a.Set(pfx("10.0.0.0/8"), 2)
+	b.Set(pfx("2001:db8::/32"), 10) // overlaps a
+	b.Set(pfx("2001:db8::/48"), 20) // new, deeper on a shared path
+	b.Set(pfx("192.168.0.0/16"), 30)
+
+	a.Merge(b, sumU64)
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", a.Len())
+	}
+	want := map[netaddr.Prefix]uint64{
+		pfx("2001:db8::/32"):  11,
+		pfx("2001:db8::/48"):  20,
+		pfx("10.0.0.0/8"):     2,
+		pfx("192.168.0.0/16"): 30,
+	}
+	if got := collect(a); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	// b must be untouched and independently mutable.
+	if b.Len() != 3 {
+		t.Fatalf("source Len = %d after merge, want 3", b.Len())
+	}
+	b.Update(pfx("2001:db8::/32"), func(v *uint64) { *v = 999 })
+	if v, _ := a.Get(pfx("2001:db8::/32")); v != 11 {
+		t.Fatalf("mutating source changed merged trie: %d", v)
+	}
+}
+
+func TestTrieMergeEmptyAndNil(t *testing.T) {
+	a := New[uint64]()
+	a.Set(pfx("::/0"), 5)
+	a.Merge(nil, sumU64)
+	a.Merge(New[uint64](), sumU64)
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d after no-op merges, want 1", a.Len())
+	}
+	// Merging into an empty trie copies everything.
+	c := New[uint64]()
+	c.Merge(a, sumU64)
+	if !reflect.DeepEqual(collect(c), collect(a)) {
+		t.Fatal("merge into empty trie differs from source")
+	}
+}
+
+// Splitting a random insertion stream across two tries and merging must
+// equal inserting the whole stream into one trie.
+func TestTrieMergeMatchesSequential(t *testing.T) {
+	src := rng.New(99)
+	randPfx := func() netaddr.Prefix {
+		if src.Uint64()%4 == 0 {
+			return netaddr.PrefixFrom(netaddr.AddrFrom4(uint32(src.Uint64())), int(src.Uint64()%33))
+		}
+		return netaddr.PrefixFrom(
+			netaddr.AddrFrom6(0x2001_0db8_0000_0000|src.Uint64()%1024, src.Uint64()%64),
+			int(src.Uint64()%129))
+	}
+	want := New[uint64]()
+	a, b := New[uint64](), New[uint64]()
+	for i := 0; i < 4000; i++ {
+		p, d := randPfx(), src.Uint64()%100
+		want.Update(p, func(v *uint64) { *v += d })
+		half := a
+		if i%2 == 1 {
+			half = b
+		}
+		half.Update(p, func(v *uint64) { *v += d })
+	}
+	a.Merge(b, sumU64)
+	if a.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", a.Len(), want.Len())
+	}
+	if !reflect.DeepEqual(collect(a), collect(want)) {
+		t.Fatal("merged trie differs from sequential insertion")
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	src := rng.New(7)
+	randAddr := func() netaddr.Addr {
+		if src.Uint64()%5 == 0 {
+			return netaddr.AddrFrom4(0x0a00_0000 | uint32(src.Uint64()%4096))
+		}
+		return netaddr.AddrFrom6(0x2001_0db8_0000_0000|src.Uint64()%256, src.Uint64()%16)
+	}
+	want := NewCounter(32, 64, 128)
+	a, b := NewCounter(32, 64, 128), NewCounter(32, 64, 128)
+	for i := 0; i < 3000; i++ {
+		ad := randAddr()
+		want.Add(ad, 1)
+		if i%3 == 0 {
+			a.Add(ad, 1)
+		} else {
+			b.Add(ad, 1)
+		}
+	}
+	a.Merge(b)
+	for _, l := range []int{32, 64, 128} {
+		if a.LenAt(l) != want.LenAt(l) {
+			t.Fatalf("LenAt(%d) = %d, want %d", l, a.LenAt(l), want.LenAt(l))
+		}
+		want.AtLength(l, func(p netaddr.Prefix, v uint64) {
+			if got := a.Count(p); got != v {
+				t.Fatalf("Count(%v) = %d, want %d", p, got, v)
+			}
+		})
+	}
+}
+
+// Lengths configured on only one side are skipped, not corrupted.
+func TestCounterMergeLengthMismatch(t *testing.T) {
+	a := NewCounter(64)
+	b := NewCounter(64, 48)
+	addr6 := netaddr.AddrFrom6(0x2001_0db8_0000_0000, 1)
+	a.Add(addr6, 1)
+	b.Add(addr6, 2)
+	a.Merge(b)
+	if got := a.Count(netaddr.PrefixFrom(addr6, 64)); got != 3 {
+		t.Fatalf("Count at /64 = %d, want 3", got)
+	}
+	if a.LenAt(48) != 0 {
+		t.Fatalf("unconfigured length leaked into counter: LenAt(48) = %d", a.LenAt(48))
+	}
+}
+
+func TestCounterMergeNil(t *testing.T) {
+	a := NewCounter(64)
+	a.Add(netaddr.AddrFrom6(0x2001_0db8_0000_0000, 1), 4)
+	a.Merge(nil)
+	if a.LenAt(64) != 1 {
+		t.Fatal("nil merge changed counter")
+	}
+}

@@ -153,6 +153,42 @@ func (t *Trie[V]) Delete(p netaddr.Prefix) bool {
 	return true
 }
 
+// Merge folds other's stored prefixes into t, calling combine(dst, src)
+// for every prefix in other: dst points at t's value for that prefix
+// (the zero value if t had no entry), src is other's value. For
+// commutative, associative combines (sums, unions, maxima) the result
+// is exact for any split of the insertions, which is what lets sharded
+// analyzers build private tries and fold them afterwards. The merge is
+// structural — one simultaneous walk of both tries, no per-prefix
+// re-descent — and never aliases other's nodes, so other remains valid
+// and independently mutable.
+func (t *Trie[V]) Merge(other *Trie[V], combine func(dst *V, src V)) {
+	if other == nil {
+		return
+	}
+	t.root4 = mergeNode(t, t.root4, other.root4, combine)
+	t.root6 = mergeNode(t, t.root6, other.root6, combine)
+}
+
+func mergeNode[V any](t *Trie[V], dst, src *node[V], combine func(*V, V)) *node[V] {
+	if src == nil {
+		return dst
+	}
+	if dst == nil {
+		dst = &node[V]{}
+	}
+	if src.term {
+		if !dst.term {
+			dst.term = true
+			t.len++
+		}
+		combine(&dst.value, src.value)
+	}
+	dst.child[0] = mergeNode(t, dst.child[0], src.child[0], combine)
+	dst.child[1] = mergeNode(t, dst.child[1], src.child[1], combine)
+	return dst
+}
+
 // Compact prunes branches that contain no stored prefixes.
 func (t *Trie[V]) Compact() {
 	t.root4 = compact(t.root4)

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"userv6/internal/core"
+	"userv6/internal/dataset"
 	"userv6/internal/netaddr"
 	"userv6/internal/simtime"
 	"userv6/internal/telemetry"
@@ -148,36 +149,90 @@ func (s *Sim) GenerateParallel(from, to simtime.Day, shards int, newConsumer fun
 	}
 }
 
+// AnalyzeParallelCtx populates an AnalyzerSet from freshly generated
+// telemetry for days [from, to], fanning generation across shards
+// goroutines (0 means GOMAXPROCS). Each generation shard — a disjoint
+// user range — feeds a private replica of every registered analyzer, so
+// no analyzer state crosses goroutines; the replicas fold into the
+// set's primaries when every shard completes. User-disjoint sharding
+// makes the fold exact for every analyzer, including the
+// order-dependent churn attribution. The benign stream runs sharded;
+// abusive telemetry (when includeAbusive is set) streams serially into
+// the folded primaries afterwards, mirroring Generate's ordering. On
+// error — cancellation or a *ShardPanicError — the set's primaries are
+// left unfolded.
+func (s *Sim) AnalyzeParallelCtx(ctx context.Context, from, to simtime.Day, shards int, set *core.AnalyzerSet, includeAbusive bool) error {
+	var replicas []*core.Replica
+	// Consumer factories run serially before generation starts, so the
+	// append needs no lock.
+	err := s.GenerateParallelCtx(ctx, from, to, shards, func() telemetry.EmitFunc {
+		r := set.NewReplica()
+		replicas = append(replicas, r)
+		return r.Emit()
+	})
+	if err != nil {
+		return err
+	}
+	set.Fold(replicas...)
+	if includeAbusive {
+		s.Abusive.Generate(from, to, set.Emit())
+	}
+	return nil
+}
+
+// AnalyzeDatasetParallel replays a dataset file through an AnalyzerSet
+// with both halves of the pipeline parallel: workers goroutines decode
+// and checksum-verify blocks (dataset.OpenParallel) while an equal pool
+// of analyzer workers consumes the records, routed by user hash
+// (AnalyzerSet.NewPipeline). tolerant switches to the salvage read path
+// and reports what fraction of the stream the results describe; in
+// strict mode the returned report covers the intact stream. The set's
+// primaries are only folded on success.
+func (s *Sim) AnalyzeDatasetParallel(ctx context.Context, path string, workers int, set *core.AnalyzerSet, tolerant bool) (telemetry.SalvageReport, error) {
+	pr, err := dataset.OpenParallel(path, dataset.ParallelOptions{Workers: workers, Tolerant: tolerant})
+	if err != nil {
+		return telemetry.SalvageReport{}, err
+	}
+	defer pr.Close()
+
+	pipe := set.NewPipeline(workers)
+	var records uint64
+	blocks := 0
+	if err := pr.ForEachBatch(ctx, func(b dataset.Batch) error {
+		pipe.ObserveBatch(b.Recs)
+		records += uint64(len(b.Recs))
+		blocks++
+		return nil
+	}); err != nil {
+		pipe.Close()
+		return telemetry.SalvageReport{}, err
+	}
+	if err := pipe.Close(); err != nil {
+		return telemetry.SalvageReport{}, err
+	}
+	if rep, ok := pr.Coverage(); ok {
+		return rep, nil
+	}
+	return telemetry.SalvageReport{Version: 2, Blocks: blocks, Records: records}, nil
+}
+
 // Fig2Parallel computes the Figure 2 histograms using sharded
 // generation and merged analyzers — identical results to Fig2, faster
 // on multicore machines.
 func (s *Sim) Fig2Parallel(shards int) AddrsPerUserResult {
 	from, to := AnalysisWeek()
-	var mu sync.Mutex
-	var weeks, days []*core.UserCentric
+	set := core.NewAnalyzerSet()
+	mkUC := func() *core.UserCentric { return core.NewUserCentricFor(false) }
+	week := mkUC()
+	core.AddAnalyzer(set, week, mkUC, (*core.UserCentric).Merge)
+	day := mkUC()
+	core.AddAnalyzerFiltered(set, day, mkUC, (*core.UserCentric).Merge,
+		func(o telemetry.Observation) bool { return o.Day == to })
 
-	s.GenerateParallel(from, to, shards, func() telemetry.EmitFunc {
-		week := core.NewUserCentricFor(false)
-		day := core.NewUserCentricFor(false)
-		mu.Lock()
-		weeks = append(weeks, week)
-		days = append(days, day)
-		mu.Unlock()
-		return func(o telemetry.Observation) {
-			week.Observe(o)
-			if o.Day == to {
-				day.Observe(o)
-			}
-		}
-	})
-
-	week := core.NewUserCentricFor(false)
-	day := core.NewUserCentricFor(false)
-	for _, w := range weeks {
-		week.Merge(w)
-	}
-	for _, d := range days {
-		day.Merge(d)
+	// Background context never cancels, so the only possible error is a
+	// recovered shard panic; re-raise it like GenerateParallel.
+	if err := s.AnalyzeParallelCtx(context.Background(), from, to, shards, set, false); err != nil {
+		panic(err)
 	}
 	return AddrsPerUserResult{
 		DayV4:    day.AddrsPerUser(netaddr.IPv4),
@@ -192,20 +247,12 @@ func (s *Sim) Fig2Parallel(shards int) AddrsPerUserResult {
 // sharded generation and merged analyzers.
 func (s *Sim) IPCentricParallel(fam netaddr.Family, length, shards int) *core.IPCentric {
 	from, to := AnalysisWeek()
-	var mu sync.Mutex
-	var parts []*core.IPCentric
-	s.GenerateParallel(from, to, shards, func() telemetry.EmitFunc {
-		ic := core.NewIPCentric(fam, length)
-		mu.Lock()
-		parts = append(parts, ic)
-		mu.Unlock()
-		return ic.Observe
-	})
-	// Abusive traffic streams serially into the merged result.
-	out := core.NewIPCentric(fam, length)
-	for _, p := range parts {
-		out.Merge(p)
+	set := core.NewAnalyzerSet()
+	mk := func() *core.IPCentric { return core.NewIPCentric(fam, length) }
+	out := mk()
+	core.AddAnalyzer(set, out, mk, (*core.IPCentric).Merge)
+	if err := s.AnalyzeParallelCtx(context.Background(), from, to, shards, set, true); err != nil {
+		panic(err)
 	}
-	s.Abusive.Generate(from, to, out.Observe)
 	return out
 }
