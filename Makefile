@@ -4,12 +4,14 @@ FUZZTIME ?= 10s
 # analysis hot paths, checked against bench/BENCH_baseline.json (3x
 # tripwire on PRs; the nightly run re-gates the same set at 1.3x with
 # real -benchtime sampling).
-BENCH_GATE = ^(BenchmarkGenerateWeek|BenchmarkGenerateDay|BenchmarkWriterV2|BenchmarkReaderV2|BenchmarkTrieUpdate|BenchmarkTrieLookup|BenchmarkRollup|BenchmarkUserCentricObserve|BenchmarkIPCentricObserve|BenchmarkAnalyzeSequential|BenchmarkAnalyzeParallel)$$
+BENCH_GATE = ^(BenchmarkGenerateWeek|BenchmarkGenerateDay|BenchmarkWriterV2|BenchmarkReaderV2|BenchmarkWriterV2LZ|BenchmarkReaderV2LZ|BenchmarkTrieUpdate|BenchmarkTrieLookup|BenchmarkRollup|BenchmarkUserCentricObserve|BenchmarkIPCentricObserve|BenchmarkAnalyzeSequential|BenchmarkAnalyzeParallel)$$
 BENCH_PKGS = . ./internal/telemetry ./internal/trie ./internal/core
 NIGHTLY_BENCHTIME = 2s
 FUZZ_TARGETS = \
 	./internal/telemetry:FuzzReader \
 	./internal/telemetry:FuzzSalvage \
+	./internal/telemetry:FuzzLZRoundTrip \
+	./internal/telemetry:FuzzLZDecode \
 	./internal/dataset:FuzzDatasetOpen \
 	./internal/dataset:FuzzDatasetRoundTrip
 

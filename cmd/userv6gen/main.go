@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
 	"userv6"
@@ -79,13 +80,16 @@ func usage() {
   gen      generate a telemetry dataset file
            -shards N  sharded export: part-NNNN.uv6 files + manifest.uv6m
            -resume    continue a partial dataset from its (user, day) frontier
+           -compress  store blocks under the built-in LZ codec (~3x smaller)
   info     summarize a dataset file
   analyze  run the user/IP-centric analyzers over a dataset file
            -tolerant  salvage-path read: skip corrupt blocks, report coverage
            -workers N block-parallel decode + analysis (0 = all CPUs, 1 = sequential)
+           -unordered completion-order delivery (all analyzers are commutative)
   verify   check dataset integrity (block checksums, record counts)
   salvage  recover intact records from a damaged dataset into a new file
-  merge    fold sharded part files into one canonical dataset`)
+  merge    fold sharded part files into one canonical dataset
+           -tolerant  admit parts whose frame codecs disagree with their label`)
 	os.Exit(2)
 }
 
@@ -114,6 +118,7 @@ func runGen(args []string) {
 	sampleSpec := fs.String("sample", "all", "sampler: all, user:R, addr:R, prefixL:R")
 	shards := fs.Int("shards", 0, "sharded export: write N part files + manifest into the -o directory")
 	resume := fs.Bool("resume", false, "continue a partial dataset at -o from its last completed (user, day)")
+	compress := fs.Bool("compress", false, "store blocks under the built-in LZ codec (dataset and binary formats)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this path at exit")
 	fs.Parse(args)
@@ -128,9 +133,17 @@ func runGen(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	codecName := ""
+	if *compress {
+		codecName = "lz"
+	}
+
 	if *resume {
 		if *shards != 0 {
 			fatal(fmt.Errorf("gen: -resume applies to single-file datasets; merge the parts first"))
+		}
+		if *compress {
+			fatal(fmt.Errorf("gen: -resume reads the codec from the partial dataset's header; drop -compress"))
 		}
 		runGenResume(ctx, *out)
 		return
@@ -149,7 +162,7 @@ func runGen(args []string) {
 		}
 		meta := dataset.Meta{
 			Seed: *seed, Users: *users, FromDay: *from, ToDay: *to,
-			Sample: *sampleSpec, BenignOnly: *benignOnly,
+			Sample: *sampleSpec, BenignOnly: *benignOnly, Codec: codecName,
 		}
 		man, err := sim.ExportShardedCtx(ctx, *out, *shards, meta, func(emit telemetry.EmitFunc) telemetry.EmitFunc {
 			return sampling.Filter(sampler, emit)
@@ -178,7 +191,7 @@ func runGen(args []string) {
 	if *format == "dataset" {
 		meta := dataset.Meta{
 			Seed: *seed, Users: *users, FromDay: *from, ToDay: *to,
-			Sample: *sampleSpec, BenignOnly: *benignOnly,
+			Sample: *sampleSpec, BenignOnly: *benignOnly, Codec: codecName,
 		}
 		w, err := dataset.Create(*out, meta)
 		if err != nil {
@@ -218,9 +231,19 @@ func runGen(args []string) {
 	var flush func() error
 	switch *format {
 	case "binary":
-		w := telemetry.NewWriterV2(f)
+		codec := telemetry.CodecIdentity
+		if *compress {
+			codec = telemetry.CodecLZ
+		}
+		w, err := telemetry.NewWriterV2Codec(f, telemetry.DefaultBlockRecords, codec)
+		if err != nil {
+			fatal(err)
+		}
 		write, flush = w.Write, w.Flush
 	case "jsonl":
+		if *compress {
+			fatal(fmt.Errorf("gen: -compress applies to block formats (dataset, binary), not jsonl"))
+		}
 		w := telemetry.NewJSONLWriter(f)
 		write, flush = w.Write, w.Flush
 	default:
@@ -284,11 +307,13 @@ func runGenResume(ctx context.Context, out string) {
 	sim := userv6.NewSim(userv6.DefaultScenario(meta.Users).WithSeed(meta.Seed))
 	from, to := meta.Window()
 
-	// The resumed file carries the original run's configuration; counts
-	// and completion are rewritten by the new writer.
+	// The resumed file carries the original run's configuration — the
+	// block codec included, or the resumed bytes would diverge from the
+	// uninterrupted run's; counts and completion are rewritten by the
+	// new writer.
 	w, err := dataset.Create(out, dataset.Meta{
 		Seed: meta.Seed, Users: meta.Users, FromDay: meta.FromDay, ToDay: meta.ToDay,
-		Sample: meta.Sample, BenignOnly: meta.BenignOnly,
+		Sample: meta.Sample, BenignOnly: meta.BenignOnly, Codec: meta.Codec,
 	})
 	if err != nil {
 		fatal(err)
@@ -362,9 +387,11 @@ func runMerge(args []string) {
 	manifest := fs.String("manifest", "", "manifest.uv6m path (parts resolved next to it)")
 	retries := fs.Int("retries", 3, "max retries per part on transient I/O errors")
 	strict := fs.Bool("strict", false, "fail on any damaged part instead of skipping corrupt blocks")
+	tolerant := fs.Bool("tolerant", false, "admit parts whose frame codecs disagree with their declared codec")
+	workers := fs.Int("workers", 0, "per-part decode workers (0 = all CPUs)")
 	fs.Parse(args)
 
-	opts := &dataset.MergeOptions{MaxRetries: *retries, Strict: *strict}
+	opts := &dataset.MergeOptions{MaxRetries: *retries, Strict: *strict, Tolerant: *tolerant, Workers: *workers}
 	var (
 		rep dataset.MergeReport
 		err error
@@ -411,16 +438,20 @@ func printMergeReport(rep dataset.MergeReport) {
 	if len(rep.Parts) == 0 {
 		return
 	}
-	t := report.NewTable("part", "blocks", "coverage", "records", "corrupt", "skipped B", "retries", "checksum")
+	t := report.NewTable("part", "blocks", "coverage", "records", "corrupt", "skipped B", "retries", "checksum", "codec")
 	for _, c := range rep.Parts {
 		sum := "ok"
 		if !c.ChecksumOK {
 			sum = "MISMATCH"
 		}
+		codec := "ok"
+		if !c.CodecOK {
+			codec = "MISMATCH"
+		}
 		t.Row(c.Name,
 			fmt.Sprintf("%d/%d", c.BlocksRecovered, c.BlocksExpected),
 			report.Percent(c.Coverage()),
-			c.Records, c.CorruptBlocks, c.SkippedBytes, c.Retries, sum)
+			c.Records, c.CorruptBlocks, c.SkippedBytes, c.Retries, sum, codec)
 	}
 	t.Write(os.Stdout)
 }
@@ -462,6 +493,9 @@ func printScanReport(rep dataset.ScanReport) {
 			Row("header format", formatName(m.Format)).
 			Row("header complete", m.Complete).
 			Row("header records", m.Records)
+		if m.Codec != "" {
+			t.Row("header codec", m.Codec)
+		}
 	default:
 		t.Row("header", "CORRUPT (unparseable)")
 	}
@@ -473,6 +507,9 @@ func printScanReport(rep dataset.ScanReport) {
 			Row("corrupt blocks", rep.Stream.CorruptBlocks).
 			Row("salvageable records", rep.Stream.Records).
 			Row("skipped bytes", rep.Stream.SkippedBytes)
+		if names := rep.Stream.Codecs.Names(); len(names) > 0 {
+			t.Row("block codecs", strings.Join(names, ", "))
+		}
 	}
 	verdict := "INTACT"
 	if !rep.Intact() {
@@ -531,6 +568,10 @@ func runInfo(args []string) {
 	inputArg(fs, in)
 
 	r := openReader(*in)
+	var codec string
+	if dr, ok := r.(*dataset.Reader); ok {
+		codec = dr.Meta().Codec
+	}
 	var (
 		n, abusive int
 		v4, v6     int
@@ -560,14 +601,17 @@ func runInfo(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	report.NewTable("metric", "value").
+	tbl := report.NewTable("metric", "value").
 		Row("observations", n).
 		Row("abusive observations", abusive).
 		Row("IPv4 / IPv6 observations", fmt.Sprintf("%d / %d", v4, v6)).
 		Row("distinct entities", len(users)).
 		Row("days", fmt.Sprintf("%d..%d", int(minD), int(maxD))).
-		Row("total requests", requests).
-		Write(os.Stdout)
+		Row("total requests", requests)
+	if codec != "" {
+		tbl.Row("block codec", codec)
+	}
+	tbl.Write(os.Stdout)
 }
 
 func runAnalyze(args []string) {
@@ -575,18 +619,24 @@ func runAnalyze(args []string) {
 	in := fs.String("i", "telemetry.uv6", "input path (binary format)")
 	tolerant := fs.Bool("tolerant", false, "salvage-path read: analyze intact blocks of a damaged file and report coverage")
 	workers := fs.Int("workers", 0, "block decode + analysis workers (0 = all CPUs, 1 = sequential)")
+	unordered := fs.Bool("unordered", false, "deliver blocks in completion order (requires commutative analyzers and -workers != 1)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this path")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this path after analysis")
 	fs.Parse(args)
 	inputArg(fs, in)
 
+	// Every analyzer this command registers dedups into set-shaped
+	// per-(user, prefix) state, so accumulation commutes — which is what
+	// legalizes -unordered below. An order-sensitive analyzer (e.g.
+	// churn attribution) would register with AddAnalyzer and the
+	// Commutative() check would refuse unordered delivery.
 	set := core.NewAnalyzerSet()
 	uc := core.NewUserCentricFor(false)
-	core.AddAnalyzer(set, uc,
+	core.AddCommutativeAnalyzer(set, uc,
 		func() *core.UserCentric { return core.NewUserCentricFor(false) }, (*core.UserCentric).Merge)
 	addIC := func(fam netaddr.Family, length int) *core.IPCentric {
 		ic := core.NewIPCentric(fam, length)
-		core.AddAnalyzer(set, ic,
+		core.AddCommutativeAnalyzer(set, ic,
 			func() *core.IPCentric { return core.NewIPCentric(fam, length) }, (*core.IPCentric).Merge)
 		return ic
 	}
@@ -594,11 +644,20 @@ func runAnalyze(args []string) {
 	ic6 := addIC(netaddr.IPv6, 128)
 	ic64 := addIC(netaddr.IPv6, 64)
 
+	if *unordered {
+		if *workers == 1 {
+			fatal(fmt.Errorf("analyze: -unordered needs the parallel reader; use -workers 0 or > 1"))
+		}
+		if !set.Commutative() {
+			fatal(fmt.Errorf("analyze: -unordered requires every registered analyzer to be commutative"))
+		}
+	}
+
 	stopProf := startCPUProfile(*cpuprofile)
 	if *workers == 1 {
 		analyzeSequential(*in, *tolerant, set)
 	} else {
-		analyzeParallel(*in, *tolerant, *workers, set)
+		analyzeParallel(*in, *tolerant, *unordered, *workers, set)
 	}
 	stopProf()
 	writeMemProfile(*memprofile)
@@ -633,9 +692,7 @@ func analyzeSequential(in string, tolerant bool, set *core.AnalyzerSet) {
 			fatal(fmt.Errorf("analyze -tolerant: %s", rep.StreamErr))
 		}
 		if rep.HeaderOK && rep.HeaderErr == "" {
-			m := rep.Meta
-			fmt.Printf("dataset: seed=%d users=%d days=%d..%d sample=%s records=%d\n\n",
-				m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.Records)
+			fmt.Printf("%s\n\n", metaLine(rep.Meta))
 		}
 		printCoverage(rep.Stream)
 		return
@@ -647,35 +704,85 @@ func analyzeSequential(in string, tolerant bool, set *core.AnalyzerSet) {
 }
 
 // analyzeParallel reads the dataset through the block-parallel decode
-// pool and fans records out to per-worker analyzer replicas routed by
-// user hash; results are identical to the sequential path.
-func analyzeParallel(in string, tolerant bool, workers int, set *core.AnalyzerSet) {
-	pr, err := dataset.OpenParallel(in, dataset.ParallelOptions{Workers: workers, Tolerant: tolerant})
+// pool. Ordered (the default): records fan out to per-worker analyzer
+// replicas routed by user hash, identical to the sequential path. With
+// unordered set, batches are delivered concurrently in completion
+// order — no reorder buffer — and each lands on whichever analyzer
+// replica is free; the fold is exact because runAnalyze only permits
+// this mode when every analyzer declared commutative accumulation.
+func analyzeParallel(in string, tolerant, unordered bool, workers int, set *core.AnalyzerSet) {
+	pr, err := dataset.OpenParallel(in, dataset.ParallelOptions{
+		Workers: workers, Tolerant: tolerant, Unordered: unordered,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer pr.Close()
 	if !pr.Raw() {
-		m := pr.Meta()
-		fmt.Printf("dataset: seed=%d users=%d days=%d..%d sample=%s records=%d\n\n",
-			m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.Records)
+		fmt.Printf("%s\n\n", metaLine(pr.Meta()))
 	}
 
-	pipe := set.NewPipeline(workers)
-	err = pr.ForEachBatch(context.Background(), func(b dataset.Batch) error {
-		pipe.ObserveBatch(b.Recs)
-		return nil
-	})
-	if err != nil {
-		pipe.Close()
-		fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
-	}
-	if err := pipe.Close(); err != nil {
-		fatal(err)
+	if unordered {
+		analyzeUnordered(pr, workers, set)
+	} else {
+		pipe := set.NewPipeline(workers)
+		err = pr.ForEachBatch(context.Background(), func(b dataset.Batch) error {
+			pipe.ObserveBatch(b.Recs)
+			return nil
+		})
+		if err != nil {
+			pipe.Close()
+			fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
+		}
+		if err := pipe.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if rep, ok := pr.Coverage(); ok {
 		printCoverage(rep)
 	}
+}
+
+// analyzeUnordered consumes completion-order batches. The parallel
+// reader invokes the callback concurrently from its worker goroutines,
+// so a channel of analyzer replicas serves as the pool: each batch
+// checks one out, observes into it, and returns it. The channel
+// handoff is the only synchronization replicas need, and the final
+// Fold merges them — exact for commutative analyzers under any
+// partition of the stream.
+func analyzeUnordered(pr *dataset.ParallelReader, workers int, set *core.AnalyzerSet) {
+	n := workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	replicas := make([]*core.Replica, n)
+	pool := make(chan *core.Replica, n)
+	for i := range replicas {
+		replicas[i] = set.NewReplica()
+		pool <- replicas[i]
+	}
+	err := pr.ForEachBatch(context.Background(), func(b dataset.Batch) error {
+		r := <-pool
+		for _, o := range b.Recs {
+			r.Observe(o)
+		}
+		pool <- r
+		return nil
+	})
+	if err != nil {
+		fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
+	}
+	set.Fold(replicas...)
+}
+
+// metaLine renders the one-line dataset summary shown before analysis
+// output. The codec deliberately does not appear: analyze output over
+// a compressed dataset must be byte-identical to the uncompressed run
+// (the contract diff-based tooling relies on); `info` and `verify`
+// surface the codec instead.
+func metaLine(m dataset.Meta) string {
+	return fmt.Sprintf("dataset: seed=%d users=%d days=%d..%d sample=%s records=%d",
+		m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.Records)
 }
 
 func printCoverage(rep telemetry.SalvageReport) {
@@ -730,9 +837,7 @@ type streamSource interface {
 // printing the dataset metadata when available.
 func openReader(path string) streamSource {
 	if r, err := dataset.Open(path); err == nil {
-		m := r.Meta()
-		fmt.Printf("dataset: seed=%d users=%d days=%d..%d sample=%s records=%d\n\n",
-			m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.Records)
+		fmt.Printf("%s\n\n", metaLine(r.Meta()))
 		return r
 	}
 	f, err := os.Open(path)

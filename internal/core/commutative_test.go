@@ -1,0 +1,85 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"userv6/internal/netaddr"
+)
+
+// TestCommutativeDeclaration: the Commutative flag is per-registration
+// and the set only reports commutative when every analyzer opted in.
+func TestCommutativeDeclaration(t *testing.T) {
+	empty := NewAnalyzerSet()
+	if !empty.Commutative() {
+		t.Fatal("empty set must be vacuously commutative")
+	}
+
+	set := NewAnalyzerSet()
+	AddCommutativeAnalyzer(set, NewUserCentricFor(false),
+		func() *UserCentric { return NewUserCentricFor(false) }, (*UserCentric).Merge)
+	if !set.Commutative() {
+		t.Fatal("all-commutative set must report commutative")
+	}
+
+	AddAnalyzer(set, NewChurnAttribution(2),
+		func() *ChurnAttribution { return NewChurnAttribution(2) }, (*ChurnAttribution).Merge)
+	if set.Commutative() {
+		t.Fatal("one order-dependent analyzer must veto commutativity")
+	}
+}
+
+// TestCommutativeFoldArbitrarySplit backs the declaration with
+// behavior: UserCentric and IPCentric fed a reversed stream split
+// round-robin (deliberately not user-disjoint) across replicas must
+// fold to exactly the sequential state. This is the property
+// analyze -unordered relies on.
+func TestCommutativeFoldArbitrarySplit(t *testing.T) {
+	stream := pipelineStream()
+
+	mkSet := func() (*AnalyzerSet, *UserCentric, *IPCentric) {
+		set := NewAnalyzerSet()
+		uc := NewUserCentricFor(false)
+		AddCommutativeAnalyzer(set, uc, func() *UserCentric { return NewUserCentricFor(false) }, (*UserCentric).Merge)
+		ic := NewIPCentric(netaddr.IPv6, 64)
+		AddCommutativeAnalyzer(set, ic, func() *IPCentric { return NewIPCentric(netaddr.IPv6, 64) }, (*IPCentric).Merge)
+		return set, uc, ic
+	}
+
+	refSet, ruc, ric := mkSet()
+	for _, o := range stream {
+		refSet.Observe(o)
+	}
+
+	set, uc, ic := mkSet()
+	if !set.Commutative() {
+		t.Fatal("test set must be commutative")
+	}
+	replicas := []*Replica{set.NewReplica(), set.NewReplica(), set.NewReplica()}
+	for i := range stream {
+		o := stream[len(stream)-1-i] // reversed order
+		replicas[i%len(replicas)].Observe(o)
+	}
+	set.Fold(replicas...)
+
+	if uc.Users() != ruc.Users() {
+		t.Fatalf("UserCentric users %d, want %d", uc.Users(), ruc.Users())
+	}
+	for _, fam := range []netaddr.Family{netaddr.IPv4, netaddr.IPv6} {
+		if !reflect.DeepEqual(uc.AddrsPerUser(fam), ruc.AddrsPerUser(fam)) {
+			t.Fatalf("AddrsPerUser(%v) diverged under unordered delivery", fam)
+		}
+	}
+	if !reflect.DeepEqual(uc.PrefixSpans([]int{44, 64}), ruc.PrefixSpans([]int{44, 64})) {
+		t.Fatal("PrefixSpans diverged under unordered delivery")
+	}
+	if ic.Prefixes() != ric.Prefixes() {
+		t.Fatalf("IPCentric prefixes %d, want %d", ic.Prefixes(), ric.Prefixes())
+	}
+	if !reflect.DeepEqual(ic.UsersPerPrefix(), ric.UsersPerPrefix()) {
+		t.Fatal("UsersPerPrefix diverged under unordered delivery")
+	}
+	if !reflect.DeepEqual(ic.TopPrefixes(5), ric.TopPrefixes(5)) {
+		t.Fatal("TopPrefixes diverged under unordered delivery")
+	}
+}

@@ -35,10 +35,11 @@ type AnalyzerSet struct {
 }
 
 type registration struct {
-	primary Observer
-	mk      func() Observer
-	fold    func(replica Observer)
-	filter  func(telemetry.Observation) bool
+	primary     Observer
+	mk          func() Observer
+	fold        func(replica Observer)
+	filter      func(telemetry.Observation) bool
+	commutative bool
 }
 
 // NewAnalyzerSet returns an empty set.
@@ -67,6 +68,36 @@ func AddAnalyzerFiltered[T Observer](s *AnalyzerSet, primary T, mk func() T, fol
 		fold:    func(replica Observer) { fold(primary, replica.(T)) },
 		filter:  filter,
 	})
+}
+
+// AddCommutativeAnalyzer is AddAnalyzer plus a declaration: the
+// analyzer's accumulated state is invariant under observation order and
+// under how the stream is partitioned across replicas before folding.
+// Concretely, feeding any permutation of the same multiset of
+// observations — or splitting it arbitrarily (not just user-disjointly)
+// across replicas and folding — must leave state identical to the
+// in-order sequential feed. Declaring it is what authorizes
+// completion-order delivery (analyze -unordered): the caller checks
+// Commutative() before abandoning stream order. Analyzers that dedup
+// into set-shaped state (UserCentric's and IPCentric's (user, prefix)
+// pair sets) qualify; anything tracking transitions between consecutive
+// observations (churn attribution) does not.
+func AddCommutativeAnalyzer[T Observer](s *AnalyzerSet, primary T, mk func() T, fold func(into, from T)) {
+	AddAnalyzer(s, primary, mk, fold)
+	s.regs[len(s.regs)-1].commutative = true
+}
+
+// Commutative reports whether every registered analyzer was declared
+// order-insensitive via AddCommutativeAnalyzer (vacuously true for an
+// empty set). Only then is unordered, arbitrarily-partitioned delivery
+// exact.
+func (s *AnalyzerSet) Commutative() bool {
+	for i := range s.regs {
+		if !s.regs[i].commutative {
+			return false
+		}
+	}
+	return true
 }
 
 // Observe feeds one observation to every registered primary directly —

@@ -51,6 +51,12 @@ type Meta struct {
 	// Format is the stream format version (FormatV2 for new files;
 	// zero for legacy v1 files).
 	Format int `json:"format,omitempty"`
+	// Codec names the block codec the stream was written under ("lz";
+	// empty means identity). Individual blocks may still be stored as
+	// identity when encoding did not shrink them — the per-frame flags
+	// are authoritative; this field only declares the writer's intent
+	// so tooling can cross-check and reproduce the file.
+	Codec string `json:"codec,omitempty"`
 	// Complete is set when the writer finalized the file. A file with
 	// Complete false was interrupted mid-write and may hold fewer
 	// records than a finished run would have.
@@ -91,6 +97,10 @@ type Writer struct {
 // accumulate in a temporary file next to path until Close finalizes
 // and renames it into place.
 func Create(path string, meta Meta) (*Writer, error) {
+	codec, ok := telemetry.CodecByName(meta.Codec)
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown block codec %q", meta.Codec)
+	}
 	meta.Format = FormatV2
 	meta.Complete = false
 	tmp := path + ".tmp"
@@ -111,7 +121,12 @@ func Create(path string, meta Meta) (*Writer, error) {
 		os.Remove(tmp)
 		return nil, fmt.Errorf("dataset: seek: %w", err)
 	}
-	w.tw = telemetry.NewWriterV2(f)
+	w.tw, err = telemetry.NewWriterV2Codec(f, telemetry.DefaultBlockRecords, codec.ID())
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
 	return w, nil
 }
 
@@ -212,6 +227,32 @@ func (w *Writer) Write(o telemetry.Observation) error {
 		}
 	}
 	return nil
+}
+
+// writeEncodedBlock forwards an already-stored frame to the stream
+// writer when the passthrough preconditions hold (see
+// telemetry.WriterV2.WriteEncodedBlock), keeping the same header-
+// refresh cadence as record-at-a-time writes: sinceFlush advances by
+// the whole block, and because passthrough only happens on block
+// boundaries, a refresh triggered here flushes with no partial block
+// pending — the stream bytes stay identical to a single-writer run.
+func (w *Writer) writeEncodedBlock(b telemetry.RawBlock) (bool, error) {
+	ok, err := w.tw.WriteEncodedBlock(b)
+	if !ok || err != nil {
+		return ok, err
+	}
+	w.sinceFlush += b.Count
+	if w.sinceFlush >= headerFlushEvery {
+		w.sinceFlush = 0
+		if err := w.tw.Flush(); err != nil {
+			return true, err
+		}
+		w.meta.Records = w.tw.Count()
+		if err := w.writeHeader(); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
 }
 
 // Emit adapts Write to a telemetry.EmitFunc, recording the first error.

@@ -45,6 +45,12 @@ type PartInfo struct {
 	// Records and Blocks are the part's record and frame counts.
 	Records uint64 `json:"records"`
 	Blocks  uint64 `json:"blocks"`
+	// Codec names the block codec the part was written under (empty
+	// means identity). Merge cross-checks it against the part's actual
+	// frame flags: an LZ part may legitimately hold identity-fallback
+	// frames, but any frame under a codec the manifest did not declare
+	// marks a mixed or mislabeled part set.
+	Codec string `json:"codec,omitempty"`
 	// CRC32C is the Castagnoli checksum of the entire part file
 	// (header and stream), lowercase hex.
 	CRC32C string `json:"crc32c"`
@@ -100,7 +106,10 @@ func ConfigHash(m Meta) string {
 		ToDay      int    `json:"to_day"`
 		Sample     string `json:"sample"`
 		BenignOnly bool   `json:"benign_only"`
-	}{m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.BenignOnly}
+		// Codec is omitempty so every hash computed before the codec
+		// field existed stays valid for identity-codec datasets.
+		Codec string `json:"codec,omitempty"`
+	}{m.Seed, m.Users, m.FromDay, m.ToDay, m.Sample, m.BenignOnly, m.Codec}
 	b, err := json.Marshal(id)
 	if err != nil {
 		// Marshal of a flat struct of scalars cannot fail.

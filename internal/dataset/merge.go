@@ -6,14 +6,29 @@
 // salvage path: corrupt blocks cost only themselves, and the report
 // says exactly how much of each part survived — the tolerant-merge
 // shape the hitlist pipelines apply to partially damaged corpora.
+//
+// Two fast paths keep the pass from being the pipeline's slowest: the
+// record decode/re-encode of each part fans out across a worker pool
+// (the same block-parallelism as OpenParallel, threaded through the
+// salvage scan), and a stored block whose frame is provably what the
+// output writer would emit at that position — boundary-aligned, full,
+// same codec — is copied through without being decoded at all. For a
+// compressed sharded export merged at the same codec, that passthrough
+// covers nearly every block, so the merge never pays the LZ re-encode.
 package dataset
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"userv6/internal/telemetry"
@@ -40,10 +55,21 @@ type MergeOptions struct {
 	// Strict makes any corruption or checksum mismatch fatal instead of
 	// skipped-and-reported.
 	Strict bool
+	// Tolerant admits parts whose observed frame codecs disagree with
+	// the codec their manifest entry (or their own header) declares.
+	// Outside tolerant mode such a part fails the merge with
+	// ErrCodecMismatch: a mixed or mislabeled part set is a labeling
+	// problem to surface, not to silently absorb.
+	Tolerant bool
+	// Workers is the per-part decode pool size; <= 0 means GOMAXPROCS.
+	// The marker-resync scan stays sequential (the resync position
+	// depends on each frame's checksum verdict), but record decode and
+	// re-emission fan out across the pool.
+	Workers int
 	// Expected, when non-nil, supplies per-part expectations (block
-	// counts, whole-file checksums) from a manifest, keyed by part
-	// name; coverage is then reported against what the producer wrote
-	// rather than against what happens to be readable.
+	// counts, whole-file checksums, codec) from a manifest, keyed by
+	// part name; coverage is then reported against what the producer
+	// wrote rather than against what happens to be readable.
 	Expected map[string]PartInfo
 }
 
@@ -53,6 +79,8 @@ func (o *MergeOptions) withDefaults() MergeOptions {
 		return out
 	}
 	out.Strict = o.Strict
+	out.Tolerant = o.Tolerant
+	out.Workers = o.Workers
 	out.Expected = o.Expected
 	if o.MaxRetries > 0 {
 		out.MaxRetries = o.MaxRetries
@@ -83,6 +111,12 @@ type PartCoverage struct {
 	// ChecksumOK reports the whole-file CRC32C against the manifest;
 	// true when no expectation was available.
 	ChecksumOK bool
+	// CodecOK reports that every intact frame's codec was one the part
+	// declared (the declared codec, or identity — an encoder that did
+	// not shrink a block legitimately falls back). True when nothing
+	// declared a codec to check against. A tolerant merge records a
+	// violation here instead of failing.
+	CodecOK bool
 }
 
 // Coverage is the recovered fraction of expected blocks in [0, 1]
@@ -156,17 +190,20 @@ func MergeManifest(out, manifestPath string, opts *MergeOptions) (*Manifest, Mer
 	return man, rep, err
 }
 
+// ErrCodecMismatch reports a part whose intact frames carry a codec
+// its manifest entry (or its own header) did not declare. Without
+// -tolerant a merge refuses such a part set outright: decoding would
+// succeed block by block, but the labeling is wrong, and a mislabeled
+// corpus fails later in far more confusing ways.
+var ErrCodecMismatch = errors.New("dataset: part frame codec disagrees with declared codec")
+
 func mergeInto(w *Writer, parts []string, opt MergeOptions) (MergeReport, error) {
 	var rep MergeReport
 	rep.Complete = true
-	emit, errp := w.Emit()
 	for _, path := range parts {
-		cov, err := mergePart(path, emit, opt)
+		cov, err := mergePart(w, path, opt)
 		if err != nil {
 			return rep, fmt.Errorf("dataset: merge %s: %w", path, err)
-		}
-		if *errp != nil {
-			return rep, *errp
 		}
 		rep.Parts = append(rep.Parts, cov)
 		if !cov.Intact() {
@@ -180,18 +217,26 @@ func mergeInto(w *Writer, parts []string, opt MergeOptions) (MergeReport, error)
 	return rep, nil
 }
 
-func mergePart(path string, emit telemetry.EmitFunc, opt MergeOptions) (PartCoverage, error) {
-	cov := PartCoverage{Name: filepath.Base(path), ChecksumOK: true}
+func mergePart(w *Writer, path string, opt MergeOptions) (PartCoverage, error) {
+	cov := PartCoverage{Name: filepath.Base(path), ChecksumOK: true, CodecOK: true}
 	data, retries, err := readFileRetry(path, opt)
 	cov.Retries = retries
 	if err != nil {
 		return cov, err
 	}
 
-	if want, ok := opt.Expected[cov.Name]; ok {
+	// The codec the part is supposed to be stored under: the manifest
+	// entry when there is one, otherwise the part's own header. A raw
+	// stream (or an unparseable header) declares nothing, so nothing is
+	// checked against it.
+	var declared string
+	var haveDeclared bool
+	want, fromManifest := opt.Expected[cov.Name]
+	if fromManifest {
 		cov.BlocksExpected = int(want.Blocks)
 		got := fmt.Sprintf("%08x", crc32.Checksum(data, headerCastagnoli))
 		cov.ChecksumOK = got == want.CRC32C
+		declared, haveDeclared = want.Codec, true
 	}
 
 	// Strip the dataset header when present; a raw stream (signature at
@@ -202,10 +247,19 @@ func mergePart(path string, emit telemetry.EmitFunc, opt MergeOptions) (PartCove
 			cov.SkippedBytes = int64(len(data))
 			return cov, nil
 		}
+		if !haveDeclared {
+			var pm Meta
+			if json.Unmarshal(trimHeader(data[:headerSize]), &pm) == nil {
+				declared, haveDeclared = pm.Codec, true
+			}
+		}
 		stream = data[headerSize:]
 	}
 
-	sr, serr := telemetry.SalvageBytes(stream, emit)
+	sr, serr, werr := mergeStream(w, stream, opt.Workers)
+	if werr != nil {
+		return cov, werr
+	}
 	cov.BlocksRecovered = sr.Blocks
 	cov.CorruptBlocks = sr.CorruptBlocks
 	cov.Records = sr.Records
@@ -219,7 +273,178 @@ func mergePart(path string, emit telemetry.EmitFunc, opt MergeOptions) (PartCove
 		// it through the damaged-part check.
 		cov.ChecksumOK = false
 	}
+	if haveDeclared {
+		if err := checkPartCodecs(declared, sr.Codecs); err != nil {
+			cov.CodecOK = false
+			if !opt.Tolerant {
+				return cov, err
+			}
+		}
+	}
 	return cov, nil
+}
+
+// checkPartCodecs verifies the codecs observed across a part's intact
+// frames against the codec the part declares. The allowed set is the
+// declared codec plus identity: a writer under any codec falls back to
+// identity per block when encoding does not pay, so identity frames
+// inside an "lz" part are legitimate — but an lz frame inside an
+// undeclared part is not.
+func checkPartCodecs(declared string, observed telemetry.CodecSet) error {
+	c, ok := telemetry.CodecByName(declared)
+	if !ok {
+		return fmt.Errorf("%w: part declares codec %q, unknown to this build", ErrCodecMismatch, declared)
+	}
+	var bad []string
+	for id := 0; id < 32; id++ {
+		cid := telemetry.CodecID(id)
+		if observed.Has(cid) && cid != c.ID() && cid != telemetry.CodecIdentity {
+			bad = append(bad, cid.String())
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%w: declared %q, found frames under %s", ErrCodecMismatch,
+			c.Name(), strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+// mergeStream salvages one part's stream into the output writer through
+// a worker pool. The scanner (the sequential marker-resync walk) also
+// decides, deterministically, which blocks qualify for passthrough: a
+// block lands in the output byte-identically to re-writing its records
+// iff the writer has no partial block pending, the block is exactly
+// full, and its stored codec equals the writer's. Everything else is
+// decoded by the pool and re-emitted record by record. scanErr reports
+// an unrecognizable stream (non-fatal to the merge); writeErr reports
+// an output-side failure (fatal).
+func mergeStream(w *Writer, stream []byte, workers int) (rep telemetry.SalvageReport, scanErr, writeErr error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type mergeRes struct {
+		idx  int
+		blk  telemetry.RawBlock
+		recs []telemetry.Observation
+		pass bool
+	}
+	type mergeJob struct {
+		idx     int
+		blk     telemetry.RawBlock
+		decoded []byte
+		pass    bool
+	}
+	jobs := make(chan mergeJob, workers)
+	results := make(chan mergeRes, workers*2)
+	var bufs pools
+
+	// Scanner: walks the salvage resync sequentially, planning
+	// passthrough by simulating the writer's pending-record count. The
+	// plan mirrors WriteEncodedBlock's own precondition check, so by
+	// the time an aligned block reaches delivery (in order), the writer
+	// is exactly where the scanner predicted.
+	pending := w.tw.Pending()
+	perBlock := w.tw.RecordsPerBlock()
+	wcodec := w.tw.Codec()
+	go func() {
+		defer close(jobs)
+		idx := 0
+		rep, scanErr = telemetry.SalvageRawBlocks(stream, func(b telemetry.RawBlock, decoded []byte) {
+			pass := pending == 0 && b.Checksummed() && b.Count == perBlock && b.Codec == wcodec
+			if !pass {
+				pending = (pending + b.Count) % perBlock
+			}
+			select {
+			case jobs <- mergeJob{idx: idx, blk: b, decoded: decoded, pass: pass}:
+				idx++
+			case <-ctx.Done():
+			}
+		})
+	}()
+
+	// Workers: record decode for blocks that must be re-framed;
+	// passthrough blocks skip the pool's CPU entirely (their stored
+	// bytes — checksum included — are already what the output needs).
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res := mergeRes{idx: j.idx, blk: j.blk, pass: j.pass}
+				if !j.pass {
+					res.recs = telemetry.AppendRecords(bufs.getRecs(), j.decoded)
+				}
+				select {
+				case results <- res:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Delivery: strictly in stream order on this goroutine, so the
+	// output bytes match a sequential merge exactly.
+	var (
+		next int
+		held = make(map[int]mergeRes)
+	)
+	fail := func(err error) {
+		if writeErr == nil {
+			writeErr = err
+			cancel()
+		}
+	}
+	for r := range results {
+		held[r.idx] = r
+		for {
+			h, ok := held[next]
+			if !ok {
+				break
+			}
+			delete(held, next)
+			next++
+			if writeErr != nil {
+				bufs.putRecs(h.recs)
+				continue
+			}
+			if h.pass {
+				ok, err := w.writeEncodedBlock(h.blk)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				if ok {
+					continue
+				}
+				// The writer declined (cannot happen while the scanner's
+				// simulation holds, but stay safe): fall back to decoding
+				// the stored block and re-emitting its records.
+				recs, _, derr := h.blk.AppendDecoded(bufs.getRecs(), nil)
+				if derr != nil {
+					fail(derr)
+					continue
+				}
+				h.recs = recs
+			}
+			for _, o := range h.recs {
+				if err := w.Write(o); err != nil {
+					fail(err)
+					break
+				}
+			}
+			bufs.putRecs(h.recs)
+		}
+	}
+	return rep, scanErr, writeErr
 }
 
 // readFileRetry reads path fully, retrying transient I/O errors with

@@ -234,14 +234,19 @@ func (pr *ParallelReader) runStrict(ctx context.Context, fn func(Batch) error) e
 		}
 	}()
 
-	// Workers: CRC verify + decode; in unordered mode they also deliver.
+	// Workers: CRC verify + codec decode; in unordered mode they also
+	// deliver. Each worker keeps its own decompression scratch, so a
+	// compressed stream decodes with zero steady-state allocations and
+	// the LZ work parallelizes with the rest of the block decode.
 	var wg sync.WaitGroup
 	for w := 0; w < pr.opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch []byte
 			for blk := range jobs {
-				recs, err := blk.Decode(bufs.getRecs())
+				recs, sc, err := blk.AppendDecoded(bufs.getRecs(), scratch)
+				scratch = sc
 				bufs.putPayload(blk.Payload)
 				if err == nil && pr.opts.Unordered {
 					err = fn(Batch{Index: blk.Index, Recs: recs})

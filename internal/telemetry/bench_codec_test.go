@@ -76,3 +76,57 @@ func BenchmarkReaderV2(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWriterV2LZ is BenchmarkWriterV2 with per-block LZ: the extra
+// cost of compressing each payload before checksumming it.
+func BenchmarkWriterV2LZ(b *testing.B) {
+	obs := benchObs(64 * DefaultBlockRecords)
+	b.SetBytes(int64(len(obs)) * recordSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := NewWriterV2Codec(io.Discard, DefaultBlockRecords, CodecLZ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range obs {
+			if err := w.Write(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReaderV2LZ measures CRC-verify + decompress + decode
+// throughput over an LZ stream. SetBytes uses the decoded size, so the
+// number is directly comparable to BenchmarkReaderV2.
+func BenchmarkReaderV2LZ(b *testing.B) {
+	obs := benchObs(64 * DefaultBlockRecords)
+	var buf bytes.Buffer
+	w, err := NewWriterV2Codec(&buf, DefaultBlockRecords, CodecLZ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, o := range obs {
+		if err := w.Write(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(obs)) * recordSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		n := 0
+		if err := r.ForEach(func(Observation) { n++ }); err != nil {
+			b.Fatal(err)
+		}
+		if n != len(obs) {
+			b.Fatalf("read %d of %d records", n, len(obs))
+		}
+	}
+}

@@ -29,7 +29,11 @@ type RawBlock struct {
 	Count int
 	// Sum is the stored CRC32C of the payload (v2 only).
 	Sum uint32
-	// Payload holds Count records of fixed size, unverified.
+	// Codec is the block codec the payload is stored under (v2 only;
+	// v1 pseudo-blocks are always identity).
+	Codec CodecID
+	// Payload holds the stored payload — Count records encoded under
+	// Codec — unverified. The checksum covers these stored bytes.
 	Payload []byte
 
 	version byte
@@ -56,10 +60,42 @@ func (b RawBlock) Verify() error {
 // dst's capacity. On a checksum mismatch dst is returned unchanged
 // alongside the *CorruptError.
 func (b RawBlock) Decode(dst []Observation) ([]Observation, error) {
+	dst, _, err := b.AppendDecoded(dst, nil)
+	return dst, err
+}
+
+// AppendDecoded verifies the block's checksum, reverses its codec, and
+// appends the records to dst. scratch holds the decoded payload for
+// codec-encoded blocks; the (possibly grown) scratch is returned so a
+// worker looping over blocks decodes with zero steady-state
+// allocations. Any failure — checksum mismatch, unknown codec, payload
+// that does not decode to exactly Count records — returns dst
+// unchanged alongside a *CorruptError.
+func (b RawBlock) AppendDecoded(dst []Observation, scratch []byte) ([]Observation, []byte, error) {
 	if err := b.Verify(); err != nil {
-		return dst, err
+		return dst, scratch, err
 	}
-	return AppendRecords(dst, b.Payload), nil
+	payload := b.Payload
+	if b.version >= 2 && b.Codec != CodecIdentity {
+		c, ok := CodecByID(b.Codec)
+		if !ok {
+			return dst, scratch, &CorruptError{Block: b.Index, Offset: b.Offset,
+				Reason: fmt.Sprintf("unknown codec %s", b.Codec)}
+		}
+		raw := b.Count * recordSize
+		buf, err := c.AppendDecode(scratch[:0], b.Payload, raw)
+		scratch = buf
+		if err != nil {
+			return dst, scratch, &CorruptError{Block: b.Index, Offset: b.Offset,
+				Reason: fmt.Sprintf("payload decode (%s): %v", b.Codec, err)}
+		}
+		if len(buf) != raw {
+			return dst, scratch, &CorruptError{Block: b.Index, Offset: b.Offset,
+				Reason: fmt.Sprintf("decoded length %d, want %d", len(buf), raw)}
+		}
+		payload = buf
+	}
+	return AppendRecords(dst, payload), scratch, nil
 }
 
 // AppendRecords decodes a verified payload — a whole number of records
@@ -190,15 +226,15 @@ func (r *BlockReader) nextV2(buf []byte) (RawBlock, error) {
 		return RawBlock{}, &CorruptError{Block: r.idx, Offset: frameOff, Reason: "bad block marker"}
 	}
 	length := binary.LittleEndian.Uint32(h[4:])
-	count := binary.LittleEndian.Uint32(h[8:])
+	count, codec := splitCountFlags(binary.LittleEndian.Uint32(h[8:]))
 	sum := binary.LittleEndian.Uint32(h[12:])
 	if length > maxBlockPayload {
 		return RawBlock{}, &CorruptError{Block: r.idx, Offset: frameOff,
 			Reason: fmt.Sprintf("oversized frame (%d bytes)", length)}
 	}
-	if count == 0 || uint64(count)*recordSize != uint64(length) {
+	if !frameShapeValid(length, count, codec) {
 		return RawBlock{}, &CorruptError{Block: r.idx, Offset: frameOff,
-			Reason: fmt.Sprintf("frame length %d / record count %d mismatch", length, count)}
+			Reason: fmt.Sprintf("frame length %d / record count %d mismatch (codec %s)", length, count, codec)}
 	}
 	buf = sliceFor(buf, int(length))
 	n, err = io.ReadFull(r.br, buf)
@@ -211,6 +247,7 @@ func (r *BlockReader) nextV2(buf []byte) (RawBlock, error) {
 		Offset:  frameOff,
 		Count:   int(count),
 		Sum:     sum,
+		Codec:   codec,
 		Payload: buf,
 		version: 2,
 	}

@@ -1,0 +1,128 @@
+package telemetry
+
+// Pluggable per-block codecs. A v2 frame stores its payload under one
+// codec, identified by the flags byte of the frame header (the high
+// byte of the count word — see frame.go). Codec 0 is the identity,
+// which keeps every pre-codec v2 stream byte-for-byte valid. Checksums
+// always cover the stored (encoded) payload, so a frame is verifiable
+// without decoding it — salvage and merge passthrough depend on that.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CodecID is the on-disk codec identifier carried in the frame flags.
+type CodecID uint8
+
+const (
+	// CodecIdentity stores payloads uncompressed (flags byte 0, the
+	// format's pre-codec wire layout).
+	CodecIdentity CodecID = 0
+	// CodecLZ stores payloads under the built-in byte-level LZ variant
+	// (lz.go). Writers fall back to identity per block when the encoded
+	// form is not strictly smaller, so an LZ stream may mix both.
+	CodecLZ CodecID = 1
+)
+
+// String returns the codec's canonical name, or a numeric form for
+// IDs this build does not know.
+func (id CodecID) String() string {
+	if c, ok := CodecByID(id); ok {
+		return c.Name()
+	}
+	return fmt.Sprintf("codec(%d)", uint8(id))
+}
+
+// BlockCodec encodes and decodes whole block payloads. Implementations
+// must be stateless and safe for concurrent use; encoding must be
+// deterministic (merge passthrough equates "same decoded payload" with
+// "same stored bytes").
+type BlockCodec interface {
+	// ID is the identifier stored in the frame flags.
+	ID() CodecID
+	// Name is the stable lowercase name used in dataset metadata.
+	Name() string
+	// AppendEncode appends the encoded form of src to dst.
+	AppendEncode(dst, src []byte) []byte
+	// AppendDecode appends the decoded form of src to dst, failing
+	// (not panicking, not over-allocating) on any input whose decoded
+	// form would exceed maxLen bytes or is otherwise malformed.
+	AppendDecode(dst, src []byte, maxLen int) ([]byte, error)
+}
+
+type identityCodec struct{}
+
+func (identityCodec) ID() CodecID  { return CodecIdentity }
+func (identityCodec) Name() string { return "identity" }
+func (identityCodec) AppendEncode(dst, src []byte) []byte {
+	return append(dst, src...)
+}
+func (identityCodec) AppendDecode(dst, src []byte, maxLen int) ([]byte, error) {
+	if len(src) > maxLen {
+		return dst, errLZTooLong
+	}
+	return append(dst, src...), nil
+}
+
+type lzCodec struct{}
+
+func (lzCodec) ID() CodecID  { return CodecLZ }
+func (lzCodec) Name() string { return "lz" }
+func (lzCodec) AppendEncode(dst, src []byte) []byte {
+	return lzAppendEncode(dst, src)
+}
+func (lzCodec) AppendDecode(dst, src []byte, maxLen int) ([]byte, error) {
+	return lzAppendDecode(dst, src, maxLen)
+}
+
+// CodecByID resolves a codec identifier. The second result is false
+// for IDs this build does not implement (frames carrying one are
+// treated as corrupt by readers and skipped by salvage).
+func CodecByID(id CodecID) (BlockCodec, bool) {
+	switch id {
+	case CodecIdentity:
+		return identityCodec{}, true
+	case CodecLZ:
+		return lzCodec{}, true
+	}
+	return nil, false
+}
+
+// CodecByName resolves a codec by its metadata name. The empty string
+// and "none" are accepted as aliases for identity, so datasets written
+// before the codec field existed resolve without special-casing.
+func CodecByName(name string) (BlockCodec, bool) {
+	switch strings.ToLower(name) {
+	case "", "identity", "none":
+		return identityCodec{}, true
+	case "lz":
+		return lzCodec{}, true
+	}
+	return nil, false
+}
+
+// CodecSet is a bitmask of codec IDs observed in a stream; salvage and
+// scan reports carry one so callers can cross-check a dataset's frames
+// against its declared codec without a second pass.
+type CodecSet uint32
+
+// Add records id in the set.
+func (s *CodecSet) Add(id CodecID) { *s |= 1 << uint32(id%32) }
+
+// Has reports whether id is in the set.
+func (s CodecSet) Has(id CodecID) bool { return s&(1<<uint32(id%32)) != 0 }
+
+// Empty reports whether no codec has been recorded.
+func (s CodecSet) Empty() bool { return s == 0 }
+
+// Names lists the codecs in the set in ID order.
+func (s CodecSet) Names() []string {
+	var names []string
+	for id := 0; id < 32; id++ {
+		if s.Has(CodecID(id)) {
+			names = append(names, CodecID(id).String())
+		}
+	}
+	return names
+}

@@ -137,7 +137,8 @@ type Reader struct {
 	// v2 framing state. hdr is the reusable frame-header scratch: a
 	// local [16]byte escapes through io.ReadFull's interface argument,
 	// which used to cost one heap allocation per block.
-	blk      []byte // current verified block payload
+	blk      []byte // current verified (and decoded) block payload
+	cblk     []byte // scratch for a codec-encoded stored payload
 	hdr      [blockHeaderSize]byte
 	blkOff   int   // read cursor within blk
 	blockIdx int   // index of the next block to read

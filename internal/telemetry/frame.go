@@ -3,15 +3,29 @@ package telemetry
 // Format v2: framed record blocks with per-block CRC32C checksums.
 //
 // A v2 stream is the 4-byte signature "uv6\x02" followed by a sequence
-// of blocks. Each block is a 16-byte frame header and a payload of
-// consecutive fixed-size records:
+// of blocks. Each block is a 16-byte frame header and a stored payload:
 //
 //	offset size field
 //	0      4    block marker "blk\x01"
-//	4      4    payload length in bytes (uint32 LE, = count*recordSize)
-//	8      4    record count (uint32 LE, > 0)
-//	12     4    CRC32C (Castagnoli) of the payload (uint32 LE)
-//	16     N    payload: count records of recordSize bytes
+//	4      4    stored payload length in bytes (uint32 LE)
+//	8      3    record count (uint24 LE, > 0, <= maxBlockRecords)
+//	11     1    flags: the block codec ID (0 = identity)
+//	12     4    CRC32C (Castagnoli) of the stored payload (uint32 LE)
+//	16     N    stored payload: count records, encoded under the codec
+//
+// The count and flags share one little-endian uint32: because
+// maxBlockRecords is 1<<16, the word's high byte was always zero before
+// codecs existed, so identity-codec frames are bit-for-bit the original
+// v2 layout and every pre-codec stream still reads. Under the identity
+// codec the stored length is exactly count*recordSize; under any other
+// codec it is strictly smaller (writers fall back to identity when
+// encoding does not pay), which gives readers a total validity check
+// before they allocate.
+//
+// The checksum always covers the stored payload, not the decoded one:
+// a frame is verifiable without decoding, salvage can accept or reject
+// frames on bytes alone, and merge can pass already-encoded blocks
+// through untouched.
 //
 // The design goals, in the spirit of the IPv6 Hitlists pipelines that
 // must tolerate malformed input at scale: a single flipped bit anywhere
@@ -37,10 +51,47 @@ const (
 	// block loses little, large enough that framing overhead is ~0.04%.
 	DefaultBlockRecords = 1024
 	// maxBlockRecords bounds the record count a reader accepts in one
-	// frame, capping per-block allocation at 2.5 MiB.
+	// frame, capping per-block allocation at 2.5 MiB. It must stay
+	// below 1<<blockFlagsShift so the count and flags never collide.
 	maxBlockRecords = 1 << 16
 	maxBlockPayload = maxBlockRecords * recordSize
+	// blockFlagsShift positions the codec flags byte within the frame
+	// header's count word.
+	blockFlagsShift = 24
+	blockCountMask  = 1<<blockFlagsShift - 1
 )
+
+// packCountFlags builds the frame header's count word from a record
+// count and a codec ID.
+func packCountFlags(count int, codec CodecID) uint32 {
+	return uint32(count) | uint32(codec)<<blockFlagsShift
+}
+
+// splitCountFlags splits the frame header's count word into the record
+// count and the codec ID.
+func splitCountFlags(word uint32) (count uint32, codec CodecID) {
+	return word & blockCountMask, CodecID(word >> blockFlagsShift)
+}
+
+// frameShapeValid reports whether a frame header's (length, count,
+// codec) triple is structurally possible. Identity frames must carry
+// exactly count*recordSize bytes; encoded frames must carry at least
+// one and strictly fewer (a writer never stores an encoding that did
+// not shrink the payload). Unknown codecs are invalid: their payload
+// cannot be interpreted, so readers treat such frames as corrupt.
+func frameShapeValid(length, count uint32, codec CodecID) bool {
+	if count == 0 || count > maxBlockRecords {
+		return false
+	}
+	raw := uint64(count) * recordSize
+	if codec == CodecIdentity {
+		return uint64(length) == raw
+	}
+	if _, ok := CodecByID(codec); !ok {
+		return false
+	}
+	return length > 0 && uint64(length) < raw
+}
 
 var (
 	magicV2    = [4]byte{'u', 'v', '6', 2}
@@ -75,8 +126,10 @@ func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 type WriterV2 struct {
 	bw          *bufio.Writer
 	payload     []byte
+	enc         []byte // scratch for the codec-encoded payload
 	hdr         [blockHeaderSize]byte
 	rec         [recordSize]byte
+	codec       BlockCodec // nil means identity (no encode pass at all)
 	perBlock    int
 	count       int // records in the current (unflushed) block
 	n           uint64
@@ -99,6 +152,38 @@ func NewWriterV2Blocks(w io.Writer, recordsPerBlock int) *WriterV2 {
 		perBlock: recordsPerBlock,
 	}
 }
+
+// NewWriterV2Codec returns a v2 Writer that stores each block under
+// codec, falling back to identity per block when the encoded payload
+// is not strictly smaller (so a pathological block never grows the
+// stream past the uncompressed layout plus headers).
+func NewWriterV2Codec(w io.Writer, recordsPerBlock int, codec CodecID) (*WriterV2, error) {
+	c, ok := CodecByID(codec)
+	if !ok {
+		return nil, fmt.Errorf("telemetry: unknown block codec id %d", codec)
+	}
+	wr := NewWriterV2Blocks(w, recordsPerBlock)
+	if c.ID() != CodecIdentity {
+		wr.codec = c
+	}
+	return wr, nil
+}
+
+// Codec returns the codec blocks are encoded under (identity for
+// writers created without one). Individual blocks may still be stored
+// as identity when encoding did not pay.
+func (w *WriterV2) Codec() CodecID {
+	if w.codec == nil {
+		return CodecIdentity
+	}
+	return w.codec.ID()
+}
+
+// Pending returns the records buffered in the block in progress.
+func (w *WriterV2) Pending() int { return w.count }
+
+// RecordsPerBlock returns the full-block record target.
+func (w *WriterV2) RecordsPerBlock() int { return w.perBlock }
 
 // Write appends one observation, emitting a block when full.
 func (w *WriterV2) Write(o Observation) error {
@@ -130,21 +215,60 @@ func (w *WriterV2) emitBlock() error {
 	if w.count == 0 {
 		return nil
 	}
+	stored, codec := w.payload, CodecIdentity
+	if w.codec != nil {
+		w.enc = w.codec.AppendEncode(w.enc[:0], w.payload)
+		if len(w.enc) < len(w.payload) {
+			stored, codec = w.enc, w.codec.ID()
+		}
+	}
 	h := w.hdr[:]
 	copy(h, blockMagic[:])
-	binary.LittleEndian.PutUint32(h[4:], uint32(len(w.payload)))
-	binary.LittleEndian.PutUint32(h[8:], uint32(w.count))
-	binary.LittleEndian.PutUint32(h[12:], crc32.Checksum(w.payload, castagnoli))
+	binary.LittleEndian.PutUint32(h[4:], uint32(len(stored)))
+	binary.LittleEndian.PutUint32(h[8:], packCountFlags(w.count, codec))
+	binary.LittleEndian.PutUint32(h[12:], crc32.Checksum(stored, castagnoli))
 	if _, err := w.bw.Write(h); err != nil {
 		return fmt.Errorf("telemetry: write frame: %w", err)
 	}
-	if _, err := w.bw.Write(w.payload); err != nil {
+	if _, err := w.bw.Write(stored); err != nil {
 		return fmt.Errorf("telemetry: write frame payload: %w", err)
 	}
 	w.payload = w.payload[:0]
 	w.count = 0
 	w.blocks++
 	return nil
+}
+
+// WriteEncodedBlock re-emits an already-stored frame without decoding
+// it, the merge fast path. It only applies when the result is provably
+// byte-identical to feeding the block's records through Write: no
+// partial block may be pending, the block must be exactly full, and
+// its stored codec must equal this writer's target codec (an identity
+// block under an LZ writer could be either an uncompressed source or
+// an encoder fallback — indistinguishable, so it is re-encoded via the
+// slow path instead). Returns false, nil when the block does not
+// qualify; the caller then decodes and writes records normally.
+func (w *WriterV2) WriteEncodedBlock(b RawBlock) (bool, error) {
+	if b.version < 2 || b.Count != w.perBlock || w.count != 0 || b.Codec != w.Codec() {
+		return false, nil
+	}
+	if err := w.writeMagic(); err != nil {
+		return false, err
+	}
+	h := w.hdr[:]
+	copy(h, blockMagic[:])
+	binary.LittleEndian.PutUint32(h[4:], uint32(len(b.Payload)))
+	binary.LittleEndian.PutUint32(h[8:], packCountFlags(b.Count, b.Codec))
+	binary.LittleEndian.PutUint32(h[12:], b.Sum)
+	if _, err := w.bw.Write(h); err != nil {
+		return false, fmt.Errorf("telemetry: write frame: %w", err)
+	}
+	if _, err := w.bw.Write(b.Payload); err != nil {
+		return false, fmt.Errorf("telemetry: write frame payload: %w", err)
+	}
+	w.n += uint64(b.Count)
+	w.blocks++
+	return true, nil
 }
 
 // Count returns the number of records written.
@@ -198,29 +322,43 @@ func (r *Reader) readBlock() error {
 		return &CorruptError{Block: r.blockIdx, Offset: frameOff, Reason: "bad block marker"}
 	}
 	length := binary.LittleEndian.Uint32(h[4:])
-	count := binary.LittleEndian.Uint32(h[8:])
+	count, codec := splitCountFlags(binary.LittleEndian.Uint32(h[8:]))
 	sum := binary.LittleEndian.Uint32(h[12:])
 	if length > maxBlockPayload {
 		return &CorruptError{Block: r.blockIdx, Offset: frameOff,
 			Reason: fmt.Sprintf("oversized frame (%d bytes)", length)}
 	}
-	if count == 0 || uint64(count)*recordSize != uint64(length) {
+	if !frameShapeValid(length, count, codec) {
 		return &CorruptError{Block: r.blockIdx, Offset: frameOff,
-			Reason: fmt.Sprintf("frame length %d / record count %d mismatch", length, count)}
+			Reason: fmt.Sprintf("frame length %d / record count %d mismatch (codec %s)", length, count, codec)}
 	}
-	if cap(r.blk) < int(length) {
-		r.blk = make([]byte, length)
-	} else {
-		r.blk = r.blk[:length]
+	stored := &r.blk
+	if codec != CodecIdentity {
+		stored = &r.cblk
 	}
-	n, err = io.ReadFull(r.br, r.blk)
+	*stored = sliceFor(*stored, int(length))
+	n, err = io.ReadFull(r.br, *stored)
 	r.off += int64(n)
 	if err != nil {
 		return &CorruptError{Block: r.blockIdx, Offset: frameOff, Reason: "short frame payload"}
 	}
-	if got := crc32.Checksum(r.blk, castagnoli); got != sum {
+	if got := crc32.Checksum(*stored, castagnoli); got != sum {
 		return &CorruptError{Block: r.blockIdx, Offset: frameOff,
 			Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", sum, got)}
+	}
+	if codec != CodecIdentity {
+		c, _ := CodecByID(codec) // frameShapeValid guarantees it resolves
+		raw := int(count) * recordSize
+		blk, derr := c.AppendDecode(r.blk[:0], r.cblk, raw)
+		r.blk = blk
+		if derr != nil {
+			return &CorruptError{Block: r.blockIdx, Offset: frameOff,
+				Reason: fmt.Sprintf("payload decode (%s): %v", codec, derr)}
+		}
+		if len(r.blk) != raw {
+			return &CorruptError{Block: r.blockIdx, Offset: frameOff,
+				Reason: fmt.Sprintf("decoded length %d, want %d", len(r.blk), raw)}
+		}
 	}
 	r.blkOff = 0
 	r.blockIdx++
@@ -245,6 +383,10 @@ type SalvageReport struct {
 	// SkippedBytes is the byte count not accounted for by the signature
 	// or an intact block — corrupt frames, torn tails, garbage.
 	SkippedBytes int64
+	// Codecs records the codec of every intact block, so callers can
+	// cross-check a stream's frames against its declared codec (a v1
+	// stream or one with zero intact blocks leaves it empty).
+	Codecs CodecSet
 }
 
 // Intact reports whether the stream decoded end to end with nothing
@@ -287,11 +429,11 @@ func SalvageBytes(data []byte, emit EmitFunc) (SalvageReport, error) {
 }
 
 func salvageBytes(data []byte, emit EmitFunc) (SalvageReport, error) {
-	var visit func(payload []byte, count int)
+	var visit func(b RawBlock, decoded []byte)
 	if emit != nil {
-		visit = func(payload []byte, count int) {
-			for rec := 0; rec < count; rec++ {
-				emit(decodeRecord(payload[rec*recordSize:]))
+		visit = func(b RawBlock, decoded []byte) {
+			for rec := 0; rec < b.Count; rec++ {
+				emit(decodeRecord(decoded[rec*recordSize:]))
 			}
 		}
 	}
@@ -299,20 +441,40 @@ func salvageBytes(data []byte, emit EmitFunc) (SalvageReport, error) {
 }
 
 // SalvageBlocks walks data exactly like Salvage but delivers the intact
-// block payloads — already checksum-verified, each a whole number of
-// records — instead of decoded records, so a caller can fan record
-// decoding out to a worker pool while the marker-resync scan stays
-// sequential (the scan must know each candidate frame's checksum
-// verdict before choosing the next scan position, so the verify step
-// cannot be deferred without changing which bytes salvage recovers).
-// Payload slices alias data and stay valid as long as data does. A v1
-// stream, which has no frames, is delivered in pseudo-blocks of at most
-// DefaultBlockRecords records; the report still counts it as one block.
+// decoded block payloads — already checksum-verified and codec-decoded,
+// each a whole number of records — instead of decoded records, so a
+// caller can fan record decoding out to a worker pool while the
+// marker-resync scan stays sequential (the scan must know each
+// candidate frame's checksum verdict before choosing the next scan
+// position, so the verify step cannot be deferred without changing
+// which bytes salvage recovers). Identity payloads alias data and stay
+// valid as long as data does; codec-encoded payloads are decoded into a
+// fresh buffer per block, so every delivered slice is safe to retain or
+// hand to another goroutine. A v1 stream, which has no frames, is
+// delivered in pseudo-blocks of at most DefaultBlockRecords records;
+// the report still counts it as one block.
 func SalvageBlocks(data []byte, visit func(payload []byte, count int)) (SalvageReport, error) {
+	if visit == nil {
+		return salvageWalk(data, nil)
+	}
+	return salvageWalk(data, func(b RawBlock, decoded []byte) {
+		visit(decoded, b.Count)
+	})
+}
+
+// SalvageRawBlocks walks data exactly like Salvage but delivers each
+// intact block twice over: the RawBlock as stored on disk (payload
+// still codec-encoded, checksum already verified against it) and its
+// decoded payload. Merge uses the stored form to pass aligned blocks
+// through without a re-encode and the decoded form for everything
+// else. The same aliasing rules as SalvageBlocks apply: b.Payload and
+// an identity block's decoded slice alias data; a codec-encoded
+// block's decoded slice is freshly allocated.
+func SalvageRawBlocks(data []byte, visit func(b RawBlock, decoded []byte)) (SalvageReport, error) {
 	return salvageWalk(data, visit)
 }
 
-func salvageWalk(data []byte, visit func(payload []byte, count int)) (SalvageReport, error) {
+func salvageWalk(data []byte, visit func(b RawBlock, decoded []byte)) (SalvageReport, error) {
 	var rep SalvageReport
 	if len(data) >= 4 && [4]byte(data[0:4]) == magic {
 		// v1: fixed records with no checksums — every complete record
@@ -328,7 +490,14 @@ func salvageWalk(data []byte, visit func(payload []byte, count int)) (SalvageRep
 		if visit != nil {
 			for i := 0; i < nrec; i += DefaultBlockRecords {
 				n := min(DefaultBlockRecords, nrec-i)
-				visit(body[i*recordSize:(i+n)*recordSize], n)
+				chunk := body[i*recordSize : (i+n)*recordSize]
+				visit(RawBlock{
+					Index:   i / DefaultBlockRecords,
+					Offset:  4 + int64(i*recordSize),
+					Count:   n,
+					Payload: chunk,
+					version: 1,
+				}, chunk)
 			}
 		}
 		return rep, nil
@@ -346,18 +515,45 @@ func salvageWalk(data []byte, visit func(payload []byte, count int)) (SalvageRep
 			continue
 		}
 		length := binary.LittleEndian.Uint32(data[i+4:])
-		count := binary.LittleEndian.Uint32(data[i+8:])
+		count, codec := splitCountFlags(binary.LittleEndian.Uint32(data[i+8:]))
 		sum := binary.LittleEndian.Uint32(data[i+12:])
 		end := i + blockHeaderSize + int(length)
-		if length <= maxBlockPayload && count > 0 &&
-			uint64(count)*recordSize == uint64(length) && end <= len(data) {
+		if frameShapeValid(length, count, codec) && end <= len(data) {
 			payload := data[i+blockHeaderSize : end]
 			if crc32.Checksum(payload, castagnoli) == sum {
+				decoded := payload
+				if codec != CodecIdentity {
+					// The checksum only vouches for the stored bytes; an
+					// authentic-looking frame can still hold a payload
+					// that does not decode (e.g. corruption that happens
+					// to preserve the CRC of a garbage region promoted to
+					// a frame). Decode failures mean the frame is corrupt:
+					// skip the whole frame — resuming inside it could only
+					// resynchronize on garbage.
+					c, _ := CodecByID(codec) // shape-valid implies known
+					raw := int(count) * recordSize
+					buf, derr := c.AppendDecode(make([]byte, 0, raw), payload, raw)
+					if derr != nil || len(buf) != raw {
+						rep.CorruptBlocks++
+						i = end
+						continue
+					}
+					decoded = buf
+				}
 				rep.Blocks++
 				rep.Records += uint64(count)
 				rep.SkippedBytes += int64(i - lastEnd)
+				rep.Codecs.Add(codec)
 				if visit != nil {
-					visit(payload, int(count))
+					visit(RawBlock{
+						Index:   rep.Blocks - 1,
+						Offset:  int64(i),
+						Count:   int(count),
+						Sum:     sum,
+						Codec:   codec,
+						Payload: payload,
+						version: 2,
+					}, decoded)
 				}
 				i, lastEnd = end, end
 				continue

@@ -60,6 +60,7 @@ func (s *Sim) ExportShardedCtx(ctx context.Context, dir string, shards int, meta
 	// openPart creates one part sink; write errors cancel the run but
 	// are remembered per part so the first real error surfaces.
 	openPart := func(i int, info dataset.PartInfo) (*part, telemetry.EmitFunc) {
+		info.Codec = meta.Codec
 		p := &part{info: info}
 		w, err := dataset.Create(filepath.Join(dir, info.Name), meta)
 		if err != nil {
