@@ -15,7 +15,7 @@ FUZZ_TARGETS = \
 	./internal/dataset:FuzzDatasetOpen \
 	./internal/dataset:FuzzDatasetRoundTrip
 
-.PHONY: all build vet fmt-check test race fuzz-smoke bench-smoke bench-baseline ci clean
+.PHONY: all build vet fmt-check test race faults fuzz-smoke bench-smoke bench-baseline ci clean
 
 all: build
 
@@ -36,6 +36,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection gate under the race detector: the retry/faultio unit
+# tests plus the crash sweeps — sharded exports killed at injected
+# faults (every frame boundary of every part in the full sweep, every
+# manifest rewrite) must resume byte-identical. FAULTS_FLAGS=-short
+# subsamples the truncation sweep for the PR gate; nightly runs it full.
+FAULTS_FLAGS ?=
+faults:
+	$(GO) test -race $(FAULTS_FLAGS) ./internal/faultio ./internal/retry
+	$(GO) test -race $(FAULTS_FLAGS) -run 'TestShardedResume|TestMergeRetriesTransientIO|TestMergeCtxCancelled' . ./internal/dataset
 
 # Short native-fuzz smoke over every decoder fuzz target: catches
 # panics and typed-error regressions without a long campaign.
@@ -71,7 +81,7 @@ bench-nightly-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=$(NIGHTLY_BENCHTIME) $(BENCH_PKGS) 2>&1 | tee bench-nightly.txt
 	$(GO) run ./cmd/benchgate -in bench-nightly.txt -baseline bench/BENCH_nightly_baseline.json -out BENCH_nightly_results.json -max-ratio 1.3 -update
 
-ci: fmt-check vet build race fuzz-smoke bench-smoke
+ci: fmt-check vet build race faults fuzz-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

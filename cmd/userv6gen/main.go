@@ -8,6 +8,7 @@
 //	userv6gen gen  -users 20000 -from 81 -to 87 -format binary -o week.uv6
 //	userv6gen gen  -users 200000 -shards 8 -o weekdir            (sharded export)
 //	userv6gen gen  -resume -o week.uv6                           (continue a partial run)
+//	userv6gen gen  -resume -o weekdir                            (continue a sharded run)
 //	userv6gen info -i week.uv6
 //	userv6gen analyze -i week.uv6 [-tolerant]
 //	userv6gen verify -i week.uv6
@@ -19,7 +20,12 @@
 // SIGTERM; with -shards N it writes per-shard part-NNNN.uv6 files plus
 // a manifest.uv6m instead of one file, and with -resume it derives the
 // last completed (user, day) frontier from a partial dataset and
-// continues deterministically into the same output. verify (alias:
+// continues deterministically into the same output — pointing -resume
+// at a sharded directory keeps every checksummed-complete part and
+// regenerates only the unfinished ones. The -faults flag arms named
+// failpoints over the dataset layer's filesystem seam (injected errors,
+// torn writes, crash-at-offset) for rehearsing exactly those recovery
+// paths; see docs/FAULT_INJECTION.md. verify (alias:
 // scan) checks block checksums and reports how many records a salvage
 // pass would recover; salvage rewrites every intact record of a
 // damaged file into a fresh dataset; merge folds part files (possibly
@@ -44,8 +50,10 @@ import (
 	"userv6"
 	"userv6/internal/core"
 	"userv6/internal/dataset"
+	"userv6/internal/faultio"
 	"userv6/internal/netaddr"
 	"userv6/internal/report"
+	"userv6/internal/retry"
 	"userv6/internal/sampling"
 	"userv6/internal/simtime"
 	"userv6/internal/telemetry"
@@ -80,7 +88,9 @@ func usage() {
   gen      generate a telemetry dataset file
            -shards N  sharded export: part-NNNN.uv6 files + manifest.uv6m
            -resume    continue a partial dataset from its (user, day) frontier
+                      (-o a sharded directory: regenerate only the unfinished parts)
            -compress  store blocks under the built-in LZ codec (~3x smaller)
+           -faults S  arm fault-injection failpoints (debug; docs/FAULT_INJECTION.md)
   info     summarize a dataset file
   analyze  run the user/IP-centric analyzers over a dataset file
            -tolerant  salvage-path read: skip corrupt blocks, report coverage
@@ -119,6 +129,7 @@ func runGen(args []string) {
 	shards := fs.Int("shards", 0, "sharded export: write N part files + manifest into the -o directory")
 	resume := fs.Bool("resume", false, "continue a partial dataset at -o from its last completed (user, day)")
 	compress := fs.Bool("compress", false, "store blocks under the built-in LZ codec (dataset and binary formats)")
+	faults := fs.String("faults", "", "fault-injection spec, e.g. 'part-0001.uv6.tmp:write:off=41232:crash' (debug; see docs/FAULT_INJECTION.md)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this path at exit")
 	fs.Parse(args)
@@ -138,14 +149,39 @@ func runGen(args []string) {
 		codecName = "lz"
 	}
 
-	if *resume {
-		if *shards != 0 {
-			fatal(fmt.Errorf("gen: -resume applies to single-file datasets; merge the parts first"))
+	// -faults arms named failpoints over the dataset layer's filesystem
+	// seam: a debug rehearsal of the crash/transient-error recovery the
+	// fault-injection tests sweep exhaustively.
+	fsys := faultio.OS
+	var injector *faultio.Injector
+	if *faults != "" {
+		injector = faultio.New(faultio.OS, *seed)
+		if err := injector.Arm(*faults); err != nil {
+			fatal(err)
 		}
+		fsys = injector
+	}
+	defer func() {
+		if injector == nil {
+			return
+		}
+		for _, p := range injector.Points() {
+			fmt.Fprintf(os.Stderr, "failpoint %s: fired %d time(s)\n", p.Name, p.Hits)
+		}
+	}()
+
+	if *resume {
 		if *compress {
 			fatal(fmt.Errorf("gen: -resume reads the codec from the partial dataset's header; drop -compress"))
 		}
-		runGenResume(ctx, *out)
+		// A directory target (or one holding a manifest) is a sharded
+		// export; -shards is ignored because the manifest fixes the
+		// layout.
+		if st, err := os.Stat(*out); err == nil && st.IsDir() {
+			runGenShardedResume(ctx, fsys, *out)
+			return
+		}
+		runGenResume(ctx, fsys, *out)
 		return
 	}
 
@@ -164,12 +200,12 @@ func runGen(args []string) {
 			Seed: *seed, Users: *users, FromDay: *from, ToDay: *to,
 			Sample: *sampleSpec, BenignOnly: *benignOnly, Codec: codecName,
 		}
-		man, err := sim.ExportShardedCtx(ctx, *out, *shards, meta, func(emit telemetry.EmitFunc) telemetry.EmitFunc {
+		man, err := sim.ExportShardedFS(ctx, fsys, *out, *shards, meta, func(emit telemetry.EmitFunc) telemetry.EmitFunc {
 			return sampling.Filter(sampler, emit)
 		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
-				fatal(fmt.Errorf("interrupted: sharded export aborted, partial parts removed (sharded runs are all-or-nothing; use single-file gen for resumable output)"))
+				fatal(fmt.Errorf("interrupted: parts and provisional manifest left in %s; continue with `userv6gen gen -resume -o %s`", *out, *out))
 			}
 			fatal(err)
 		}
@@ -193,7 +229,7 @@ func runGen(args []string) {
 			Seed: *seed, Users: *users, FromDay: *from, ToDay: *to,
 			Sample: *sampleSpec, BenignOnly: *benignOnly, Codec: codecName,
 		}
-		w, err := dataset.Create(*out, meta)
+		w, err := dataset.CreateFS(fsys, *out, meta)
 		if err != nil {
 			fatal(err)
 		}
@@ -280,7 +316,7 @@ func runGen(args []string) {
 // a fresh writer, and deterministic generation restarts at the
 // frontier. The finished file is byte-identical to an uninterrupted
 // run.
-func runGenResume(ctx context.Context, out string) {
+func runGenResume(ctx context.Context, fsys faultio.FS, out string) {
 	src := out
 	if _, err := os.Stat(src); err != nil {
 		if _, terr := os.Stat(out + ".tmp"); terr == nil {
@@ -311,7 +347,7 @@ func runGenResume(ctx context.Context, out string) {
 	// block codec included, or the resumed bytes would diverge from the
 	// uninterrupted run's; counts and completion are rewritten by the
 	// new writer.
-	w, err := dataset.Create(out, dataset.Meta{
+	w, err := dataset.CreateFS(fsys, out, dataset.Meta{
 		Seed: meta.Seed, Users: meta.Users, FromDay: meta.FromDay, ToDay: meta.ToDay,
 		Sample: meta.Sample, BenignOnly: meta.BenignOnly, Codec: meta.Codec,
 	})
@@ -376,6 +412,40 @@ func runGenResume(ctx context.Context, out string) {
 	}
 }
 
+// runGenShardedResume continues an interrupted sharded export. The
+// directory's manifest (provisional or complete) fixes the expected
+// layout and run configuration; every part whose recorded checksum
+// matches its bytes is kept untouched, and only the missing or
+// unfinished parts are regenerated — each from its own salvaged
+// prefix, exactly like single-file resume. The finished directory is
+// byte-identical to an uninterrupted sharded run, manifest included.
+func runGenShardedResume(ctx context.Context, fsys faultio.FS, dir string) {
+	manPath := filepath.Join(dir, dataset.ManifestName)
+	man, err := dataset.ReadManifestFS(fsys, manPath)
+	if err != nil {
+		fatal(fmt.Errorf("gen -resume: %w (a sharded resume needs the directory's %s)", err, dataset.ManifestName))
+	}
+	meta := man.Meta
+	sampler, err := sampling.Parse(meta.Sample, meta.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	sim := userv6.NewSim(userv6.DefaultScenario(meta.Users).WithSeed(meta.Seed))
+
+	man, err = sim.ResumeShardedFS(ctx, fsys, dir, func(emit telemetry.EmitFunc) telemetry.EmitFunc {
+		return sampling.Filter(sampler, emit)
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted again: rerun `userv6gen gen -resume -o %s` to continue", dir))
+		}
+		fatal(err)
+	}
+	fmt.Printf("resumed sharded dataset (%d users, days %d-%d) in %s: %d parts, %d records, %d blocks (config %s)\n",
+		meta.Users, meta.FromDay, meta.ToDay, dir, len(man.Parts), man.TotalRecords(), man.TotalBlocks(), man.ConfigHash)
+	fmt.Printf("merge with: userv6gen merge -manifest %s -o merged.uv6\n", manPath)
+}
+
 // runMerge folds N part files — a sharded export's manifest, or an
 // explicit file list — into one canonical dataset. Damaged parts cost
 // only their corrupt blocks; the per-part coverage report states
@@ -391,7 +461,15 @@ func runMerge(args []string) {
 	workers := fs.Int("workers", 0, "per-part decode workers (0 = all CPUs)")
 	fs.Parse(args)
 
-	opts := &dataset.MergeOptions{MaxRetries: *retries, Strict: *strict, Tolerant: *tolerant, Workers: *workers}
+	// A SIGINT/SIGTERM aborts the merge between parts and interrupts any
+	// in-flight backoff sleep instead of blocking it out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := &dataset.MergeOptions{
+		Retry:  retry.Policy{MaxRetries: *retries},
+		Strict: *strict, Tolerant: *tolerant, Workers: *workers,
+	}
 	var (
 		rep dataset.MergeReport
 		err error
@@ -401,7 +479,7 @@ func runMerge(args []string) {
 			fatal(fmt.Errorf("merge: use -manifest or positional part files, not both"))
 		}
 		var man *dataset.Manifest
-		man, rep, err = dataset.MergeManifest(*out, *manifest, opts)
+		man, rep, err = dataset.MergeManifestCtx(ctx, *out, *manifest, opts)
 		if man != nil {
 			fmt.Printf("manifest: seed=%d shards=%d parts=%d config=%s expected %d records in %d blocks\n",
 				man.Seed, man.Shards, len(man.Parts), man.ConfigHash, man.TotalRecords(), man.TotalBlocks())
@@ -420,7 +498,7 @@ func runMerge(args []string) {
 				break
 			}
 		}
-		rep, err = dataset.Merge(*out, meta, parts, opts)
+		rep, err = dataset.MergeCtx(ctx, *out, meta, parts, opts)
 	}
 	printMergeReport(rep)
 	if err != nil {

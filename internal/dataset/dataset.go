@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	"userv6/internal/faultio"
 	"userv6/internal/simtime"
 	"userv6/internal/telemetry"
 )
@@ -85,7 +86,8 @@ var headerFlushEvery = 1 << 16
 // place, so a crash never leaves a half-written file at the target
 // path (the temp file it leaves is salvageable with Salvage).
 type Writer struct {
-	f          *os.File
+	f          faultio.File
+	fsys       faultio.FS
 	tw         *telemetry.WriterV2
 	meta       Meta
 	path       string
@@ -97,6 +99,12 @@ type Writer struct {
 // accumulate in a temporary file next to path until Close finalizes
 // and renames it into place.
 func Create(path string, meta Meta) (*Writer, error) {
+	return CreateFS(faultio.OS, path, meta)
+}
+
+// CreateFS is Create over an explicit filesystem — the seam the
+// fault-injection harness wraps. Production callers use Create.
+func CreateFS(fsys faultio.FS, path string, meta Meta) (*Writer, error) {
 	codec, ok := telemetry.CodecByName(meta.Codec)
 	if !ok {
 		return nil, fmt.Errorf("dataset: unknown block codec %q", meta.Codec)
@@ -104,27 +112,27 @@ func Create(path string, meta Meta) (*Writer, error) {
 	meta.Format = FormatV2
 	meta.Complete = false
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: create: %w", err)
 	}
-	w := &Writer{f: f, meta: meta, path: path, tmpPath: tmp}
+	w := &Writer{f: f, fsys: fsys, meta: meta, path: path, tmpPath: tmp}
 	if err := w.writeHeader(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	// Position the stream just past the header; later header refreshes
 	// use WriteAt and do not disturb the append offset.
 	if _, err := f.Seek(headerSize, io.SeekStart); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, fmt.Errorf("dataset: seek: %w", err)
 	}
 	w.tw, err = telemetry.NewWriterV2Codec(f, telemetry.DefaultBlockRecords, codec.ID())
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, err
 	}
 	return w, nil
@@ -267,12 +275,13 @@ func (w *Writer) Emit() (telemetry.EmitFunc, *error) {
 
 // Close flushes the stream, writes the final header (record count,
 // Complete flag), fsyncs, and renames the temp file to the target path.
-// On error the temp file is removed; the target path is never touched
-// until the file is complete and durable.
+// On error the temp file is left in place — whatever prefix reached
+// disk is salvageable and a resumed run can rebuild from it — while the
+// target path is never touched until the file is complete and durable.
+// Call Abort to discard the temp file instead.
 func (w *Writer) Close() error {
 	if err := w.finalize(); err != nil {
 		w.f.Close()
-		os.Remove(w.tmpPath)
 		return err
 	}
 	return nil
@@ -293,7 +302,7 @@ func (w *Writer) finalize() error {
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("dataset: close: %w", err)
 	}
-	if err := os.Rename(w.tmpPath, w.path); err != nil {
+	if err := w.fsys.Rename(w.tmpPath, w.path); err != nil {
 		return fmt.Errorf("dataset: rename: %w", err)
 	}
 	return nil
@@ -303,7 +312,7 @@ func (w *Writer) finalize() error {
 // leaving the target path untouched.
 func (w *Writer) Abort() error {
 	w.f.Close()
-	if err := os.Remove(w.tmpPath); err != nil && !os.IsNotExist(err) {
+	if err := w.fsys.Remove(w.tmpPath); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("dataset: abort: %w", err)
 	}
 	return nil

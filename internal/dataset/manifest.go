@@ -14,7 +14,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+
+	"userv6/internal/faultio"
 )
 
 const (
@@ -73,6 +74,13 @@ type Manifest struct {
 	// Parts lists every part in canonical merge order: benign shards by
 	// ascending user range, then the abusive part.
 	Parts []PartInfo `json:"parts"`
+	// Complete is set on the final manifest rewrite, after every part
+	// has finalized. A sharded export writes a provisional manifest
+	// (Complete false, zero counts, empty checksums) before generation
+	// starts and updates it as parts finish, so an interrupted run
+	// always leaves enough on disk for a resume to know what was
+	// expected.
+	Complete bool `json:"complete,omitempty"`
 }
 
 // TotalRecords sums the per-part record counts.
@@ -122,32 +130,37 @@ func ConfigHash(m Meta) string {
 // crashed export never leaves a half-written manifest next to its
 // parts.
 func WriteManifest(path string, m *Manifest) error {
+	return WriteManifestFS(faultio.OS, path, m)
+}
+
+// WriteManifestFS is WriteManifest over an explicit filesystem.
+func WriteManifestFS(fsys faultio.FS, path string, m *Manifest) error {
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("dataset: marshal manifest: %w", err)
 	}
 	b = append(b, '\n')
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("dataset: create manifest: %w", err)
 	}
 	if _, err := f.Write(b); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("dataset: write manifest: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("dataset: sync manifest: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("dataset: close manifest: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("dataset: rename manifest: %w", err)
 	}
 	return nil
@@ -155,7 +168,12 @@ func WriteManifest(path string, m *Manifest) error {
 
 // ReadManifest parses and validates a manifest file.
 func ReadManifest(path string) (*Manifest, error) {
-	b, err := os.ReadFile(path)
+	return ReadManifestFS(faultio.OS, path)
+}
+
+// ReadManifestFS is ReadManifest over an explicit filesystem.
+func ReadManifestFS(fsys faultio.FS, path string) (*Manifest, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read manifest: %w", err)
 	}
@@ -184,7 +202,12 @@ func ReadManifest(path string) (*Manifest, error) {
 // rendered as lowercase hex — the per-part checksum recorded in the
 // manifest.
 func FileCRC32C(path string) (string, error) {
-	f, err := os.Open(path)
+	return FileCRC32CFS(faultio.OS, path)
+}
+
+// FileCRC32CFS is FileCRC32C over an explicit filesystem.
+func FileCRC32CFS(fsys faultio.FS, path string) (string, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return "", fmt.Errorf("dataset: checksum open: %w", err)
 	}

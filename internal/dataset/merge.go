@@ -29,29 +29,23 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-	"time"
 
+	"userv6/internal/faultio"
+	"userv6/internal/retry"
 	"userv6/internal/telemetry"
-)
-
-// Hooks tests use to inject transient I/O faults and observe backoff
-// without sleeping.
-var (
-	readFile   = os.ReadFile
-	retrySleep = time.Sleep
 )
 
 // MergeOptions tunes a merge run.
 type MergeOptions struct {
-	// MaxRetries is how many times a transient I/O error reading one
-	// part is retried before the merge fails (default 3). Retries use
-	// exponential backoff starting at RetryBase (default 50ms) and
-	// capped at RetryMax (default 2s). Decoding is retry-safe: a part
-	// is read fully into memory before any record is emitted, so a
-	// retried read can never duplicate records.
-	MaxRetries int
-	RetryBase  time.Duration
-	RetryMax   time.Duration
+	// Retry is the backoff policy applied to transient I/O errors while
+	// reading parts (zero value = retry defaults: 3 retries, 50ms base,
+	// 2s cap, jittered). Decoding is retry-safe: a part is read fully
+	// into memory before any record is emitted, so a retried read can
+	// never duplicate records.
+	Retry retry.Policy
+	// FS is the filesystem parts are read through (nil = the real OS).
+	// The fault-injection tests point it at a faultio.Injector.
+	FS faultio.FS
 	// Strict makes any corruption or checksum mismatch fatal instead of
 	// skipped-and-reported.
 	Strict bool
@@ -74,22 +68,13 @@ type MergeOptions struct {
 }
 
 func (o *MergeOptions) withDefaults() MergeOptions {
-	out := MergeOptions{MaxRetries: 3, RetryBase: 50 * time.Millisecond, RetryMax: 2 * time.Second}
+	out := MergeOptions{FS: faultio.OS}
 	if o == nil {
 		return out
 	}
-	out.Strict = o.Strict
-	out.Tolerant = o.Tolerant
-	out.Workers = o.Workers
-	out.Expected = o.Expected
-	if o.MaxRetries > 0 {
-		out.MaxRetries = o.MaxRetries
-	}
-	if o.RetryBase > 0 {
-		out.RetryBase = o.RetryBase
-	}
-	if o.RetryMax > 0 {
-		out.RetryMax = o.RetryMax
+	out = *o
+	if out.FS == nil {
+		out.FS = faultio.OS
 	}
 	return out
 }
@@ -147,17 +132,24 @@ type MergeReport struct {
 
 // Merge folds the given part files, in order, into one dataset at out
 // carrying meta. Each part is read with capped-exponential-backoff
-// retries on transient I/O errors, then salvaged: intact blocks are
-// re-emitted through the output writer, corrupt blocks are skipped and
-// reported. The output is finalized (complete, checksummed header)
-// even when parts were damaged — the report says what was lost.
+// retries on transient I/O errors (the shared retry policy), then
+// salvaged: intact blocks are re-emitted through the output writer,
+// corrupt blocks are skipped and reported. The output is finalized
+// (complete, checksummed header) even when parts were damaged — the
+// report says what was lost.
 func Merge(out string, meta Meta, parts []string, opts *MergeOptions) (MergeReport, error) {
+	return MergeCtx(context.Background(), out, meta, parts, opts)
+}
+
+// MergeCtx is Merge under a context: cancellation aborts between parts
+// and interrupts any in-flight backoff sleep.
+func MergeCtx(ctx context.Context, out string, meta Meta, parts []string, opts *MergeOptions) (MergeReport, error) {
 	opt := opts.withDefaults()
-	w, err := Create(out, meta)
+	w, err := CreateFS(opt.FS, out, meta)
 	if err != nil {
 		return MergeReport{}, err
 	}
-	rep, err := mergeInto(w, parts, opt)
+	rep, err := mergeInto(ctx, w, parts, opt)
 	if err != nil {
 		w.Abort()
 		return rep, err
@@ -173,7 +165,13 @@ func Merge(out string, meta Meta, parts []string, opts *MergeOptions) (MergeRepo
 // relative to the manifest's directory) into out, using the manifest's
 // metadata and per-part expectations.
 func MergeManifest(out, manifestPath string, opts *MergeOptions) (*Manifest, MergeReport, error) {
-	man, err := ReadManifest(manifestPath)
+	return MergeManifestCtx(context.Background(), out, manifestPath, opts)
+}
+
+// MergeManifestCtx is MergeManifest under a context.
+func MergeManifestCtx(ctx context.Context, out, manifestPath string, opts *MergeOptions) (*Manifest, MergeReport, error) {
+	opt := opts.withDefaults()
+	man, err := ReadManifestFS(opt.FS, manifestPath)
 	if err != nil {
 		return nil, MergeReport{}, err
 	}
@@ -184,9 +182,8 @@ func MergeManifest(out, manifestPath string, opts *MergeOptions) (*Manifest, Mer
 		paths[i] = filepath.Join(dir, p.Name)
 		expected[p.Name] = p
 	}
-	opt := opts.withDefaults()
 	opt.Expected = expected
-	rep, err := Merge(out, man.Meta, paths, &opt)
+	rep, err := MergeCtx(ctx, out, man.Meta, paths, &opt)
 	return man, rep, err
 }
 
@@ -197,11 +194,14 @@ func MergeManifest(out, manifestPath string, opts *MergeOptions) (*Manifest, Mer
 // corpus fails later in far more confusing ways.
 var ErrCodecMismatch = errors.New("dataset: part frame codec disagrees with declared codec")
 
-func mergeInto(w *Writer, parts []string, opt MergeOptions) (MergeReport, error) {
+func mergeInto(ctx context.Context, w *Writer, parts []string, opt MergeOptions) (MergeReport, error) {
 	var rep MergeReport
 	rep.Complete = true
 	for _, path := range parts {
-		cov, err := mergePart(w, path, opt)
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		cov, err := mergePart(ctx, w, path, opt)
 		if err != nil {
 			return rep, fmt.Errorf("dataset: merge %s: %w", path, err)
 		}
@@ -217,9 +217,9 @@ func mergeInto(w *Writer, parts []string, opt MergeOptions) (MergeReport, error)
 	return rep, nil
 }
 
-func mergePart(w *Writer, path string, opt MergeOptions) (PartCoverage, error) {
+func mergePart(ctx context.Context, w *Writer, path string, opt MergeOptions) (PartCoverage, error) {
 	cov := PartCoverage{Name: filepath.Base(path), ChecksumOK: true, CodecOK: true}
-	data, retries, err := readFileRetry(path, opt)
+	data, retries, err := readFileRetry(ctx, path, opt)
 	cov.Retries = retries
 	if err != nil {
 		return cov, err
@@ -447,26 +447,20 @@ func mergeStream(w *Writer, stream []byte, workers int) (rep telemetry.SalvageRe
 	return rep, scanErr, writeErr
 }
 
-// readFileRetry reads path fully, retrying transient I/O errors with
-// capped exponential backoff. os.ErrNotExist is terminal on the first
-// attempt: a missing part will not appear by waiting.
-func readFileRetry(path string, opt MergeOptions) (data []byte, retries int, err error) {
-	backoff := opt.RetryBase
-	for attempt := 0; ; attempt++ {
-		data, err = readFile(path)
-		if err == nil {
-			return data, attempt, nil
+// readFileRetry reads path fully through the shared retry policy.
+// os.ErrNotExist is terminal on the first attempt: a missing part will
+// not appear by waiting.
+func readFileRetry(ctx context.Context, path string, opt MergeOptions) (data []byte, retries int, err error) {
+	retries, err = opt.Retry.Do(ctx, "merge:"+filepath.Base(path), func() error {
+		var rerr error
+		data, rerr = opt.FS.ReadFile(path)
+		if os.IsNotExist(rerr) {
+			return retry.Permanent(rerr)
 		}
-		if os.IsNotExist(err) && attempt == 0 {
-			return nil, attempt, err
-		}
-		if attempt >= opt.MaxRetries {
-			return nil, attempt, fmt.Errorf("after %d retries: %w", attempt, err)
-		}
-		retrySleep(backoff)
-		backoff *= 2
-		if backoff > opt.RetryMax {
-			backoff = opt.RetryMax
-		}
+		return rerr
+	})
+	if err != nil {
+		return nil, retries, err
 	}
+	return data, retries, nil
 }

@@ -2,13 +2,15 @@ package dataset
 
 import (
 	"bytes"
-	"errors"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"userv6/internal/faultio"
+	"userv6/internal/retry"
 	"userv6/internal/telemetry"
 )
 
@@ -174,8 +176,9 @@ func TestMergeRecoversDamagedPart(t *testing.T) {
 	}
 }
 
-// TestMergeRetriesTransientIO: transient read errors are retried with
-// capped exponential backoff and never duplicate records.
+// TestMergeRetriesTransientIO: transient read errors injected through
+// faultio are retried under the shared policy with capped exponential
+// backoff and never duplicate records.
 func TestMergeRetriesTransientIO(t *testing.T) {
 	dir := t.TempDir()
 	meta := Meta{Seed: 9, Users: 100, FromDay: 0, ToDay: 6, Sample: "all"}
@@ -185,22 +188,18 @@ func TestMergeRetriesTransientIO(t *testing.T) {
 	writePart(t, p0, meta, obs[:300])
 	writePart(t, p1, meta, obs[300:])
 
-	fails := map[string]int{p1: 2}
-	var slept []time.Duration
-	defer func(rf func(string) ([]byte, error), rs func(time.Duration)) {
-		readFile, retrySleep = rf, rs
-	}(readFile, retrySleep)
-	readFile = func(path string) ([]byte, error) {
-		if fails[path] > 0 {
-			fails[path]--
-			return nil, fmt.Errorf("read %s: %w", path, errors.New("transient I/O glitch"))
-		}
-		return os.ReadFile(path)
+	in := faultio.New(faultio.OS, 1)
+	if err := in.Arm("flaky@part-0001.uv6:readfile:n=1:x=2:err"); err != nil {
+		t.Fatal(err)
 	}
-	retrySleep = func(d time.Duration) { slept = append(slept, d) }
+	var slept []time.Duration
+	pol := retry.Policy{
+		Base: 10 * time.Millisecond, Max: 15 * time.Millisecond, NoJitter: true,
+		Sleep: func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil },
+	}
 
 	merged := filepath.Join(dir, "merged.uv6")
-	rep, err := Merge(merged, meta, []string{p0, p1}, &MergeOptions{RetryBase: 10 * time.Millisecond, RetryMax: 15 * time.Millisecond})
+	rep, err := Merge(merged, meta, []string{p0, p1}, &MergeOptions{FS: in, Retry: pol})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,15 +216,45 @@ func TestMergeRetriesTransientIO(t *testing.T) {
 
 	// A part that never stops failing exhausts its retries and fails
 	// the merge.
-	fails[p1] = 100
-	if _, err := Merge(filepath.Join(dir, "fail.uv6"), meta, []string{p0, p1}, &MergeOptions{MaxRetries: 2, RetryBase: time.Millisecond}); err == nil {
+	in2 := faultio.New(faultio.OS, 1)
+	if err := in2.Arm("part-0001.uv6:readfile:x=-1:err"); err != nil {
+		t.Fatal(err)
+	}
+	pol.MaxRetries = 2
+	if _, err := Merge(filepath.Join(dir, "fail.uv6"), meta, []string{p0, p1}, &MergeOptions{FS: in2, Retry: pol}); err == nil {
 		t.Fatal("persistently failing part should fail the merge")
 	}
 	// A missing part fails immediately, without retries.
 	slept = nil
-	if _, err := Merge(filepath.Join(dir, "missing.uv6"), meta, []string{filepath.Join(dir, "nope.uv6")}, nil); err == nil {
+	if _, err := Merge(filepath.Join(dir, "missing.uv6"), meta, []string{filepath.Join(dir, "nope.uv6")}, &MergeOptions{Retry: pol}); err == nil {
 		t.Fatal("missing part should fail the merge")
 	} else if len(slept) != 0 {
 		t.Fatalf("missing part slept %v before failing", slept)
+	}
+}
+
+// TestMergeCtxCancelled: a cancelled context aborts the merge instead
+// of sitting out its backoff schedule.
+func TestMergeCtxCancelled(t *testing.T) {
+	dir := t.TempDir()
+	meta := Meta{Seed: 9, Users: 100, FromDay: 0, ToDay: 6, Sample: "all"}
+	obs := sample(100)
+	p0 := filepath.Join(dir, "part-0000.uv6")
+	writePart(t, p0, meta, obs)
+
+	in := faultio.New(faultio.OS, 1)
+	if err := in.Arm("part-0000.uv6:readfile:x=-1:err"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := MergeCtx(ctx, filepath.Join(dir, "out.uv6"), meta, []string{p0},
+		&MergeOptions{FS: in, Retry: retry.Policy{MaxRetries: 10, Base: time.Hour}})
+	if err == nil {
+		t.Fatal("cancelled merge succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled merge blocked %v", elapsed)
 	}
 }

@@ -163,14 +163,26 @@ func (g *Generator) GenerateCtx(ctx context.Context, from, to simtime.Day, emit 
 // GenerateFromCtx(ctx, 0, from, from, to, emit) is exactly
 // GenerateCtx(ctx, from, to, emit).
 func (g *Generator) GenerateFromCtx(ctx context.Context, startUser int, startDay, from, to simtime.Day, emit EmitFunc) error {
+	return g.GenerateUsersFromCtx(ctx, startUser, startDay, len(g.Pop.Users), from, to, emit)
+}
+
+// GenerateUsersFromCtx is GenerateFromCtx bounded to the user-index
+// range [startUser, hi): the resume primitive for one shard of a
+// sharded export, whose part covers a contiguous range rather than the
+// whole population. It emits days [startDay, to] for startUser, then
+// days [from, to] for users (startUser, hi).
+func (g *Generator) GenerateUsersFromCtx(ctx context.Context, startUser int, startDay simtime.Day, hi int, from, to simtime.Day, emit EmitFunc) error {
 	if startUser < 0 {
 		startUser = 0
+	}
+	if hi > len(g.Pop.Users) {
+		hi = len(g.Pop.Users)
 	}
 	if startDay < from {
 		startDay = from
 	}
 	done := ctx.Done()
-	if startUser < len(g.Pop.Users) {
+	if startUser < hi {
 		u := &g.Pop.Users[startUser]
 		for d := startDay; d <= to; d++ {
 			select {
@@ -181,7 +193,7 @@ func (g *Generator) GenerateFromCtx(ctx context.Context, startUser int, startDay
 			g.UserDay(u, d, emit)
 		}
 	}
-	return g.GenerateUsersCtx(ctx, startUser+1, len(g.Pop.Users), from, to, emit)
+	return g.GenerateUsersCtx(ctx, startUser+1, hi, from, to, emit)
 }
 
 // UserDay emits the observations of one user on one day. It is the

@@ -93,6 +93,24 @@ func (s *Sim) ShardRanges(shards int) [][2]int {
 // Factories run serially, in shard order, before any generation
 // starts, so they may append to shared state without locking.
 func (s *Sim) GenerateParallelRangesCtx(ctx context.Context, from, to simtime.Day, shards int, newConsumer func(shard, lo, hi int) telemetry.EmitFunc) error {
+	return s.GenerateParallelSinksCtx(ctx, from, to, shards, func(sh, lo, hi int) (telemetry.EmitFunc, func(error) error) {
+		return newConsumer(sh, lo, hi), nil
+	})
+}
+
+// GenerateParallelSinksCtx is GenerateParallelRangesCtx for sinks with
+// per-shard completion work: newSink returns the shard's emit func plus
+// an optional done hook. done runs on the shard's goroutine as soon as
+// that shard's user range finishes generating — before sibling shards
+// complete — receiving the shard's generation error (nil on success,
+// including the factory-serial guarantee: a done hook may not touch
+// shared state without locking). The error done returns replaces the
+// shard's result, so a sink can finalize its output file the moment its
+// range is done and surface finalization failures with the same
+// first-fault-wins semantics as generation errors. A shard whose
+// generation was cancelled still gets its done(err) call, letting sinks
+// flush what they hold.
+func (s *Sim) GenerateParallelSinksCtx(ctx context.Context, from, to simtime.Day, shards int, newSink func(shard, lo, hi int) (telemetry.EmitFunc, func(error) error)) error {
 	ranges := s.ShardRanges(shards)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -116,7 +134,7 @@ func (s *Sim) GenerateParallelRangesCtx(ctx context.Context, from, to simtime.Da
 	var wg sync.WaitGroup
 	for sh, r := range ranges {
 		lo, hi := r[0], r[1]
-		emit := newConsumer(sh, lo, hi)
+		emit, done := newSink(sh, lo, hi)
 		wg.Add(1)
 		go func(sh, lo, hi int) {
 			defer wg.Done()
@@ -126,7 +144,11 @@ func (s *Sim) GenerateParallelRangesCtx(ctx context.Context, from, to simtime.Da
 						Value: v, Stack: debug.Stack()})
 				}
 			}()
-			report(s.Benign.GenerateUsersCtx(ctx, lo, hi, from, to, emit))
+			err := s.Benign.GenerateUsersCtx(ctx, lo, hi, from, to, emit)
+			if done != nil {
+				err = done(err)
+			}
+			report(err)
 		}(sh, lo, hi)
 	}
 	wg.Wait()

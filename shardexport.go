@@ -9,20 +9,101 @@ package userv6
 // single-writer run would have written — so export throughput scales
 // with cores (and, by splitting user ranges, with machines) without
 // giving up the canonical artifact.
+//
+// The export is crash-survivable end to end. A provisional manifest —
+// every expected part with its user range, zero counts, no checksums,
+// Complete false — is written before generation starts; each part is
+// finalized the moment its shard finishes and its manifest entry
+// (records, blocks, whole-file CRC) is rewritten atomically. An
+// interrupted or faulted run therefore always leaves dir in a state
+// ResumeShardedCtx can finish from: finalized parts are recognized by
+// their recorded checksum, everything else (torn temp files, partial
+// parts, missing parts) is salvaged to its last intact frame and only
+// the missing suffix is regenerated. The resumed output — parts and
+// manifest both — is byte-identical to an uninterrupted run.
 
 import (
 	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"userv6/internal/dataset"
+	"userv6/internal/faultio"
+	"userv6/internal/simtime"
 	"userv6/internal/telemetry"
 )
 
 // PartName returns the canonical filename of part i of a sharded
 // export.
 func PartName(i int) string { return fmt.Sprintf("part-%04d.uv6", i) }
+
+// shardedRun is the shared bookkeeping of an export or resume pass:
+// the manifest under construction and the lock serializing its
+// incremental rewrites (part finalizations race on shard goroutines).
+type shardedRun struct {
+	fsys faultio.FS
+	dir  string
+	mu   sync.Mutex
+	man  *dataset.Manifest
+}
+
+func (r *shardedRun) manifestPath() string {
+	return filepath.Join(r.dir, dataset.ManifestName)
+}
+
+// writeManifest rewrites the manifest atomically under the lock.
+func (r *shardedRun) writeManifest() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return dataset.WriteManifestFS(r.fsys, r.manifestPath(), r.man)
+}
+
+// finalizePart closes the part's writer, records its counts and
+// whole-file checksum in manifest entry i, and rewrites the manifest —
+// so a crash at any later moment finds this part marked done.
+func (r *shardedRun) finalizePart(i int, w *dataset.Writer) error {
+	if err := w.Close(); err != nil {
+		return err
+	}
+	crc, err := dataset.FileCRC32CFS(r.fsys, w.Path())
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.man.Parts[i].Records = w.Records()
+	r.man.Parts[i].Blocks = w.Blocks()
+	r.man.Parts[i].CRC32C = crc
+	return dataset.WriteManifestFS(r.fsys, r.manifestPath(), r.man)
+}
+
+// provisionalManifest lays out the full expected part list for a run:
+// benign shards over the given user ranges, plus one trailing abusive
+// part unless the run is benign-only. Counts and checksums are zero —
+// they are filled in as parts finalize.
+func provisionalManifest(meta dataset.Meta, ranges [][2]int) *dataset.Manifest {
+	man := &dataset.Manifest{
+		Version:    dataset.ManifestVersion,
+		Seed:       meta.Seed,
+		ConfigHash: dataset.ConfigHash(meta),
+		Shards:     len(ranges),
+		Meta:       meta,
+	}
+	for i, r := range ranges {
+		man.Parts = append(man.Parts, dataset.PartInfo{
+			Name: PartName(i), Kind: dataset.PartKindBenign,
+			UserLo: r[0], UserHi: r[1], Codec: meta.Codec,
+		})
+	}
+	if !meta.BenignOnly {
+		man.Parts = append(man.Parts, dataset.PartInfo{
+			Name: PartName(len(ranges)), Kind: dataset.PartKindAbusive, Codec: meta.Codec,
+		})
+	}
+	return man
+}
 
 // ExportShardedCtx generates the telemetry described by meta (window,
 // benign-only flag) into dir as per-shard dataset part files plus a
@@ -33,12 +114,20 @@ func PartName(i int) string { return fmt.Sprintf("part-%04d.uv6", i) }
 // users ascending, then abusive). wrap, when non-nil, decorates each
 // part's emit func — the hook where deterministic samplers attach.
 //
-// On any failure every temp file is aborted and already-finalized
-// parts are removed, so dir never holds a half-written export with a
-// manifest. Cancellation stops generation within one (user, day)
-// batch.
+// On failure or cancellation nothing is deleted: finalized parts, the
+// partial part each interrupted shard flushed, and the incrementally
+// updated manifest all stay in dir, which is exactly the state
+// ResumeShardedCtx finishes from. Cancellation stops generation within
+// one (user, day) batch.
 func (s *Sim) ExportShardedCtx(ctx context.Context, dir string, shards int, meta dataset.Meta, wrap func(telemetry.EmitFunc) telemetry.EmitFunc) (*dataset.Manifest, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return s.ExportShardedFS(ctx, faultio.OS, dir, shards, meta, wrap)
+}
+
+// ExportShardedFS is ExportShardedCtx over an explicit filesystem —
+// the seam the fault-injection harness (and `userv6gen gen -faults`)
+// wraps to rehearse crashes at exact byte offsets.
+func (s *Sim) ExportShardedFS(ctx context.Context, fsys faultio.FS, dir string, shards int, meta dataset.Meta, wrap func(telemetry.EmitFunc) telemetry.EmitFunc) (*dataset.Manifest, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("userv6: export dir: %w", err)
 	}
 	from, to := meta.Window()
@@ -47,104 +136,236 @@ func (s *Sim) ExportShardedCtx(ctx context.Context, dir string, shards int, meta
 		return nil, fmt.Errorf("userv6: empty population, nothing to export")
 	}
 
+	run := &shardedRun{fsys: fsys, dir: dir, man: provisionalManifest(meta, ranges)}
+	// The provisional manifest goes down before any record: from here on
+	// the directory always describes what the run was supposed to
+	// produce, so an interruption at any point is resumable.
+	if err := run.writeManifest(); err != nil {
+		return nil, err
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	type part struct {
-		w    *dataset.Writer
-		info dataset.PartInfo
-		err  error
-	}
-	parts := make([]*part, 0, len(ranges)+1)
-
-	// openPart creates one part sink; write errors cancel the run but
-	// are remembered per part so the first real error surfaces.
-	openPart := func(i int, info dataset.PartInfo) (*part, telemetry.EmitFunc) {
-		info.Codec = meta.Codec
-		p := &part{info: info}
-		w, err := dataset.Create(filepath.Join(dir, info.Name), meta)
+	// makePartSink opens part i's writer and returns the emit func plus
+	// the completion hook generation calls when the part's range is
+	// done. Writer-side errors cancel the run but are remembered so the
+	// first real fault surfaces over cancellation noise.
+	makePartSink := func(i int) (telemetry.EmitFunc, func(error) error) {
+		var werr error
+		w, err := dataset.CreateFS(fsys, filepath.Join(dir, run.man.Parts[i].Name), meta)
 		if err != nil {
-			p.err = err
 			cancel()
-			parts = append(parts, p)
-			return p, func(telemetry.Observation) {}
+			return func(telemetry.Observation) {}, func(genErr error) error { return err }
 		}
-		p.w = w
-		parts = append(parts, p)
 		emit := func(o telemetry.Observation) {
-			if p.err == nil {
-				if werr := w.Write(o); werr != nil {
-					p.err = werr
+			if werr == nil {
+				if e := w.Write(o); e != nil {
+					werr = e
 					cancel()
 				}
 			}
 		}
-		if wrap != nil {
-			return p, wrap(emit)
-		}
-		return p, emit
-	}
-
-	abortAll := func() {
-		for _, p := range parts {
-			if p.w != nil {
-				p.w.Abort()
+		done := func(genErr error) error {
+			if werr != nil {
+				w.Close() // best effort: keep whatever reached disk
+				return werr
 			}
-			os.Remove(filepath.Join(dir, p.info.Name))
+			if genErr != nil {
+				// Interrupted mid-range: finalize the partial part like a
+				// single-file interrupted gen, but leave its manifest entry
+				// provisional — an empty checksum is what tells a resume
+				// this part is unfinished.
+				w.Close()
+				return genErr
+			}
+			return run.finalizePart(i, w)
 		}
+		if wrap != nil {
+			return wrap(emit), done
+		}
+		return emit, done
 	}
 
-	genErr := s.GenerateParallelRangesCtx(ctx, from, to, shards, func(sh, lo, hi int) telemetry.EmitFunc {
-		_, emit := openPart(sh, dataset.PartInfo{
-			Name: PartName(sh), Kind: dataset.PartKindBenign, UserLo: lo, UserHi: hi,
-		})
-		return emit
+	genErr := s.GenerateParallelSinksCtx(ctx, from, to, shards, func(sh, _, _ int) (telemetry.EmitFunc, func(error) error) {
+		return makePartSink(sh)
 	})
-	for _, p := range parts {
-		if p.err != nil {
-			genErr = p.err
-			break
-		}
-	}
 	if genErr == nil && !meta.BenignOnly {
-		p, emit := openPart(len(parts), dataset.PartInfo{
-			Name: PartName(len(parts)), Kind: dataset.PartKindAbusive,
-		})
-		if p.err == nil {
-			s.Abusive.Generate(from, to, emit)
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		genErr = p.err
+		emit, done := makePartSink(len(ranges))
+		s.Abusive.Generate(from, to, emit)
+		genErr = done(nil)
 	}
 	if genErr != nil {
-		abortAll()
 		return nil, genErr
 	}
 
-	man := &dataset.Manifest{
-		Version:    dataset.ManifestVersion,
-		Seed:       meta.Seed,
-		ConfigHash: dataset.ConfigHash(meta),
-		Shards:     len(ranges),
-		Meta:       meta,
-	}
-	for _, p := range parts {
-		if err := p.w.Close(); err != nil {
-			abortAll()
-			return nil, err
-		}
-		p.info.Records = p.w.Records()
-		p.info.Blocks = p.w.Blocks()
-		crc, err := dataset.FileCRC32C(filepath.Join(dir, p.info.Name))
-		if err != nil {
-			abortAll()
-			return nil, err
-		}
-		p.info.CRC32C = crc
-		man.Parts = append(man.Parts, p.info)
-	}
-	if err := dataset.WriteManifest(filepath.Join(dir, dataset.ManifestName), man); err != nil {
-		abortAll()
+	run.man.Complete = true
+	if err := run.writeManifest(); err != nil {
 		return nil, err
 	}
-	return man, nil
+	return run.man, nil
+}
+
+// ResumeShardedCtx finishes an interrupted sharded export in dir: it
+// reads the (provisional or final) manifest, keeps every part whose
+// recorded whole-file checksum still matches, and rebuilds the rest —
+// salvaging each damaged or unfinished part's intact record prefix
+// (from the part file or its crash-safe .tmp sibling), deriving the
+// (user, day) frontier, and regenerating only the missing suffix of
+// that part's user range. Finished parts update the manifest
+// incrementally, so an interrupted resume is itself resumable. The
+// final directory — every part and the manifest — is byte-identical to
+// an uninterrupted ExportShardedCtx run.
+//
+// wrap must be the same emit decorator the original run used (the
+// deterministic sampler), or the regenerated suffixes will diverge.
+func (s *Sim) ResumeShardedCtx(ctx context.Context, dir string, wrap func(telemetry.EmitFunc) telemetry.EmitFunc) (*dataset.Manifest, error) {
+	return s.ResumeShardedFS(ctx, faultio.OS, dir, wrap)
+}
+
+// ResumeShardedFS is ResumeShardedCtx over an explicit filesystem for
+// writes and checksums (prefix salvage always reads the real files on
+// disk).
+func (s *Sim) ResumeShardedFS(ctx context.Context, fsys faultio.FS, dir string, wrap func(telemetry.EmitFunc) telemetry.EmitFunc) (*dataset.Manifest, error) {
+	run := &shardedRun{fsys: fsys, dir: dir}
+	man, err := dataset.ReadManifestFS(fsys, run.manifestPath())
+	if err != nil {
+		return nil, fmt.Errorf("userv6: sharded resume: %w", err)
+	}
+	run.man = man
+	meta := man.Meta
+	if got := dataset.ConfigHash(meta); got != man.ConfigHash {
+		return nil, fmt.Errorf("userv6: sharded resume: manifest config hash %s does not match its own metadata (%s)", man.ConfigHash, got)
+	}
+	if meta.Users != len(s.Pop.Users) || meta.Seed != s.Scenario.Seed {
+		return nil, fmt.Errorf("userv6: sharded resume: manifest is for seed %d / %d users, sim has seed %d / %d users",
+			meta.Seed, meta.Users, s.Scenario.Seed, len(s.Pop.Users))
+	}
+	from, to := meta.Window()
+
+	for i := range man.Parts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p := man.Parts[i]
+		path := filepath.Join(dir, p.Name)
+		if p.CRC32C != "" {
+			if crc, err := dataset.FileCRC32CFS(fsys, path); err == nil && crc == p.CRC32C {
+				continue // part finalized and intact
+			}
+		}
+		if err := s.resumePart(ctx, run, i, path, from, to, wrap); err != nil {
+			return nil, fmt.Errorf("userv6: sharded resume %s: %w", p.Name, err)
+		}
+	}
+
+	run.man.Complete = true
+	if err := run.writeManifest(); err != nil {
+		return nil, err
+	}
+	return run.man, nil
+}
+
+// resumePart rebuilds one part: salvage the verified record prefix of
+// whatever survives on disk, re-emit it into a fresh writer, and
+// regenerate the remainder of the part's range from the derived
+// frontier. Deterministic generation makes the rebuilt part
+// byte-identical to an uninterrupted one.
+func (s *Sim) resumePart(ctx context.Context, run *shardedRun, i int, path string, from, to simtime.Day, wrap func(telemetry.EmitFunc) telemetry.EmitFunc) error {
+	p := run.man.Parts[i]
+	obs := salvagePrefix(path)
+
+	w, err := dataset.CreateFS(run.fsys, path, run.man.Meta)
+	if err != nil {
+		return err
+	}
+	front, keep := dataset.DeriveFrontier(obs)
+	emit, errp := w.Emit()
+	for _, o := range obs[:keep] {
+		emit(o)
+	}
+	femit := emit
+	if wrap != nil {
+		femit = wrap(emit)
+	}
+
+	var genErr error
+	switch {
+	case p.Kind == dataset.PartKindAbusive:
+		// The abusive stream is small and not range-resumable; any
+		// salvaged abusive records were dropped by DeriveFrontier (keep
+		// counts only the benign prefix, which is empty here) and the
+		// whole stream regenerates.
+		s.Abusive.Generate(from, to, femit)
+	case front.Restart:
+		genErr = s.Benign.GenerateUsersCtx(ctx, p.UserLo, p.UserHi, from, to, femit)
+	default:
+		idx := s.UserIndex(front.UserID)
+		if idx < p.UserLo || idx >= p.UserHi || front.BenignDone {
+			// The salvaged prefix names a frontier outside this part's
+			// range (or claims abusive records in a benign part): the
+			// prefix cannot be trusted, regenerate the range whole.
+			w.Abort()
+			return s.resumeRestart(ctx, run, i, path, from, to, wrap)
+		}
+		genErr = s.Benign.GenerateUsersFromCtx(ctx, idx, front.Day, p.UserHi, from, to, femit)
+	}
+	if *errp != nil {
+		w.Close() // best effort: keep whatever reached disk
+		return *errp
+	}
+	if genErr != nil {
+		w.Close()
+		return genErr
+	}
+	return run.finalizePart(i, w)
+}
+
+// resumeRestart regenerates a part from scratch after its salvaged
+// prefix proved untrustworthy.
+func (s *Sim) resumeRestart(ctx context.Context, run *shardedRun, i int, path string, from, to simtime.Day, wrap func(telemetry.EmitFunc) telemetry.EmitFunc) error {
+	p := run.man.Parts[i]
+	w, err := dataset.CreateFS(run.fsys, path, run.man.Meta)
+	if err != nil {
+		return err
+	}
+	emit, errp := w.Emit()
+	femit := emit
+	if wrap != nil {
+		femit = wrap(emit)
+	}
+	var genErr error
+	if p.Kind == dataset.PartKindAbusive {
+		s.Abusive.Generate(from, to, femit)
+	} else {
+		genErr = s.Benign.GenerateUsersCtx(ctx, p.UserLo, p.UserHi, from, to, femit)
+	}
+	if *errp != nil {
+		w.Close()
+		return *errp
+	}
+	if genErr != nil {
+		w.Close()
+		return genErr
+	}
+	return run.finalizePart(i, w)
+}
+
+// salvagePrefix loads the strictly verified record prefix of a part
+// from the best surviving source: the finalized (possibly partial)
+// part file, or failing that its crash-safe .tmp sibling. A part with
+// no readable source resumes from scratch.
+func salvagePrefix(path string) []telemetry.Observation {
+	for _, src := range []string{path, path + ".tmp"} {
+		if _, err := os.Stat(src); err != nil {
+			continue
+		}
+		if _, obs, err := dataset.LoadResumePrefix(src); err == nil && len(obs) > 0 {
+			return obs
+		}
+	}
+	return nil
 }

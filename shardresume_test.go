@@ -1,0 +1,269 @@
+package userv6
+
+// Fault-injection tests for resumable sharded export: every test kills
+// an export at an injected fault (exact-byte crash, torn manifest
+// rewrite, cancellation), resumes the directory, and requires the
+// result to be byte-identical to an uninterrupted run — parts and
+// manifest both.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"userv6/internal/dataset"
+	"userv6/internal/faultio"
+	"userv6/internal/sampling"
+	"userv6/internal/telemetry"
+)
+
+const shardHeaderSize = 256 // dataset header length, mirrored for offset math
+
+// exportPristine runs an uninterrupted sharded export and returns its
+// manifest plus the bytes of every file it wrote (parts and manifest).
+func exportPristine(t *testing.T, sim *Sim, dir string, shards int, meta dataset.Meta, wrap func(telemetry.EmitFunc) telemetry.EmitFunc) (*dataset.Manifest, map[string][]byte) {
+	t.Helper()
+	man, err := sim.ExportShardedCtx(context.Background(), dir, shards, meta, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{}
+	for _, p := range man.Parts {
+		raw, err := os.ReadFile(filepath.Join(dir, p.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p.Name] = raw
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, dataset.ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want[dataset.ManifestName] = raw
+	return man, want
+}
+
+// requireIdentical compares every pristine file against the resumed
+// directory byte for byte.
+func requireIdentical(t *testing.T, dir string, want map[string][]byte) {
+	t.Helper()
+	for name, wantRaw := range want {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, wantRaw) {
+			t.Fatalf("%s differs from uninterrupted run (%d vs %d bytes)", name, len(got), len(wantRaw))
+		}
+	}
+}
+
+// TestShardedResumeTruncationSweep is the exhaustive crash sweep: for
+// every frame boundary of every part (plus mid-header and mid-payload
+// cuts), a crash failpoint tears the part's temp file at exactly that
+// byte mid-export, and the resumed directory must be byte-identical to
+// an uninterrupted run. -short subsamples the cut list.
+func TestShardedResumeTruncationSweep(t *testing.T) {
+	const users, shards = 300, 2
+	sim := NewSim(DefaultScenario(users).WithSeed(33))
+	from, to := AnalysisWeek()
+	meta := dataset.Meta{Seed: 33, Users: users, FromDay: int(from), ToDay: int(to), Sample: "all"}
+
+	pristine := t.TempDir()
+	man, want := exportPristine(t, sim, pristine, shards, meta, nil)
+
+	// Cut points per part: the start of every frame (a tear exactly on a
+	// block boundary), inside every frame header, inside one payload,
+	// and through the stream signature.
+	type cut struct {
+		part string
+		off  int64
+	}
+	var cuts []cut
+	for _, p := range man.Parts {
+		stream := want[p.Name][shardHeaderSize:]
+		if _, err := telemetry.SalvageRawBlocks(stream, func(b telemetry.RawBlock, _ []byte) {
+			cuts = append(cuts,
+				cut{p.Name, shardHeaderSize + b.Offset},     // frame boundary
+				cut{p.Name, shardHeaderSize + b.Offset + 7}, // torn frame header
+			)
+			if b.Index == 0 {
+				cuts = append(cuts, cut{p.Name, shardHeaderSize + b.Offset + 16 + 3}) // torn payload
+			}
+		}); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		cuts = append(cuts, cut{p.Name, shardHeaderSize + 2}) // torn signature
+	}
+	if len(cuts) < 2*len(man.Parts) {
+		t.Fatalf("sweep found only %d cut points across %d parts", len(cuts), len(man.Parts))
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 5
+	}
+
+	for i := 0; i < len(cuts); i += stride {
+		c := cuts[i]
+		t.Run(fmt.Sprintf("%s@%d", c.part, c.off), func(t *testing.T) {
+			dir := t.TempDir()
+			in := faultio.New(faultio.OS, uint64(c.off))
+			if err := in.ArmPoint(faultio.Failpoint{
+				Path: c.part + ".tmp", Op: faultio.OpWrite, Offset: c.off, Action: faultio.ActionCrash,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.ExportShardedFS(context.Background(), in, dir, shards, meta, nil); err == nil {
+				t.Fatal("export across an armed crash failpoint succeeded")
+			}
+			if !in.Crashed() {
+				t.Fatalf("crash failpoint at %s@%d never fired", c.part, c.off)
+			}
+			if _, err := dataset.ReadManifest(filepath.Join(dir, dataset.ManifestName)); err != nil {
+				t.Fatalf("crashed export left no readable manifest: %v", err)
+			}
+			man2, err := sim.ResumeShardedCtx(context.Background(), dir, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !man2.Complete {
+				t.Fatal("resumed manifest not marked complete")
+			}
+			requireIdentical(t, dir, want)
+		})
+	}
+}
+
+// TestShardedResumeManifestCrashConsistency kills the export at every
+// manifest rewrite — including the window between a part's finalize
+// and its manifest update — and requires a plain resume (no tolerant
+// mode anywhere) to reproduce the uninterrupted run, with a strict
+// merge accepting the result.
+func TestShardedResumeManifestCrashConsistency(t *testing.T) {
+	const users, shards = 240, 2
+	sim := NewSim(DefaultScenario(users).WithSeed(7))
+	from, to := AnalysisWeek()
+	meta := dataset.Meta{Seed: 7, Users: users, FromDay: int(from), ToDay: int(to), Sample: "all"}
+
+	pristine := t.TempDir()
+	man, want := exportPristine(t, sim, pristine, shards, meta, nil)
+
+	single := filepath.Join(t.TempDir(), "single.uv6")
+	wantSingle, _ := writeSingle(t, sim, single, meta)
+
+	// Manifest creates during an export: 1 provisional, one per part
+	// finalize, 1 final Complete rewrite. Crashing the n-th (n >= 2)
+	// lands between a part finalize and its manifest update, or on the
+	// final rewrite itself.
+	for n := 2; n <= len(man.Parts)+2; n++ {
+		t.Run(fmt.Sprintf("crash-manifest-write-%d", n), func(t *testing.T) {
+			dir := t.TempDir()
+			in := faultio.New(faultio.OS, uint64(n))
+			if err := in.Arm(fmt.Sprintf("manifest.uv6m.tmp:create:n=%d:crash", n)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.ExportShardedFS(context.Background(), in, dir, shards, meta, nil); err == nil {
+				t.Fatal("export across an armed crash failpoint succeeded")
+			}
+			if !in.Crashed() {
+				t.Fatalf("manifest crash failpoint n=%d never fired", n)
+			}
+			if _, err := sim.ResumeShardedCtx(context.Background(), dir, nil); err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, dir, want)
+
+			merged := filepath.Join(dir, "merged.uv6")
+			_, rep, err := dataset.MergeManifest(merged, filepath.Join(dir, dataset.ManifestName),
+				&dataset.MergeOptions{Strict: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Complete {
+				t.Fatal("strict merge of resumed export reported incomplete")
+			}
+			got, err := os.ReadFile(merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, wantSingle) {
+				t.Fatal("merge of resumed export differs from single-writer run")
+			}
+		})
+	}
+}
+
+// TestShardedResumeAfterCancel interrupts an export by context
+// cancellation mid-generation (the SIGINT path) and resumes it; a
+// deterministic sampler rides along to prove wrap-decorated runs
+// resume byte-identically too.
+func TestShardedResumeAfterCancel(t *testing.T) {
+	const users, shards = 300, 3
+	sim := NewSim(DefaultScenario(users).WithSeed(12))
+	from, to := AnalysisWeek()
+	meta := dataset.Meta{Seed: 12, Users: users, FromDay: int(from), ToDay: int(to), Sample: "user:0.5"}
+	sampler, err := sampling.Parse(meta.Sample, meta.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrap := func(emit telemetry.EmitFunc) telemetry.EmitFunc {
+		return sampling.Filter(sampler, emit)
+	}
+
+	pristine := t.TempDir()
+	_, want := exportPristine(t, sim, pristine, shards, meta, wrap)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	countingWrap := func(emit telemetry.EmitFunc) telemetry.EmitFunc {
+		emit = wrap(emit)
+		return func(o telemetry.Observation) {
+			if seen.Add(1) == 500 {
+				cancel()
+			}
+			emit(o)
+		}
+	}
+	if _, err := sim.ExportShardedCtx(ctx, dir, shards, meta, countingWrap); err == nil {
+		t.Fatal("cancelled export succeeded")
+	}
+	if _, err := sim.ResumeShardedCtx(context.Background(), dir, wrap); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, dir, want)
+}
+
+// TestShardedResumeIdempotent: resuming a directory that already holds
+// a complete export regenerates nothing and leaves every byte alone.
+func TestShardedResumeIdempotent(t *testing.T) {
+	const users, shards = 200, 2
+	sim := NewSim(DefaultScenario(users).WithSeed(5))
+	from, to := AnalysisWeek()
+	meta := dataset.Meta{Seed: 5, Users: users, FromDay: int(from), ToDay: int(to), Sample: "all"}
+
+	dir := t.TempDir()
+	_, want := exportPristine(t, sim, dir, shards, meta, nil)
+
+	// A create fault on any part temp file would fire if resume opened
+	// a writer for a part it should recognize as finalized by checksum.
+	in := faultio.New(faultio.OS, 1)
+	if err := in.Arm("part-*.uv6.tmp:create:x=-1:err"); err != nil {
+		t.Fatal(err)
+	}
+	man, err := sim.ResumeShardedFS(context.Background(), in, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !man.Complete {
+		t.Fatal("resumed manifest not marked complete")
+	}
+	requireIdentical(t, dir, want)
+	if hits := in.TotalHits(); hits != 0 {
+		t.Fatalf("idempotent resume touched part contents (%d injected faults fired)", hits)
+	}
+}
