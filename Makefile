@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 # analysis hot paths, checked against bench/BENCH_baseline.json (3x
 # tripwire on PRs; the nightly run re-gates the same set at 1.3x with
 # real -benchtime sampling).
-BENCH_GATE = ^(BenchmarkGenerateWeek|BenchmarkGenerateDay|BenchmarkWriterV2|BenchmarkReaderV2|BenchmarkWriterV2LZ|BenchmarkReaderV2LZ|BenchmarkTrieUpdate|BenchmarkTrieLookup|BenchmarkRollup|BenchmarkUserCentricObserve|BenchmarkIPCentricObserve|BenchmarkAnalyzeSequential|BenchmarkAnalyzeParallel)$$
+BENCH_GATE = ^(BenchmarkGenerateWeek|BenchmarkGenerateDay|BenchmarkWriterV2|BenchmarkReaderV2|BenchmarkWriterV2LZ|BenchmarkReaderV2LZ|BenchmarkWriterV2Delta|BenchmarkReaderV2Delta|BenchmarkTrieUpdate|BenchmarkTrieLookup|BenchmarkRollup|BenchmarkUserCentricObserve|BenchmarkIPCentricObserve|BenchmarkAnalyzeSequential|BenchmarkAnalyzeParallel)$$
 BENCH_PKGS = . ./internal/telemetry ./internal/trie ./internal/core
 NIGHTLY_BENCHTIME = 2s
 FUZZ_TARGETS = \
@@ -12,10 +12,12 @@ FUZZ_TARGETS = \
 	./internal/telemetry:FuzzSalvage \
 	./internal/telemetry:FuzzLZRoundTrip \
 	./internal/telemetry:FuzzLZDecode \
+	./internal/telemetry:FuzzDeltaRoundTrip \
+	./internal/telemetry:FuzzDeltaDecode \
 	./internal/dataset:FuzzDatasetOpen \
 	./internal/dataset:FuzzDatasetRoundTrip
 
-.PHONY: all build vet fmt-check test race faults fuzz-smoke bench-smoke bench-baseline ci clean
+.PHONY: all build vet fmt-check test race faults fuzz-smoke bench-smoke bench-baseline ratio-gate ci clean
 
 all: build
 
@@ -68,6 +70,12 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=1x $(BENCH_PKGS) 2>&1 | tee bench-smoke.txt
 	$(GO) run ./cmd/benchgate -in bench-smoke.txt -baseline bench/BENCH_baseline.json -out BENCH_results.json -update
 
+# Compression-ratio gate, run next to the bench smoke: on the fixture
+# workload the delta policy must store no more bytes than lz and auto
+# must beat lz strictly — the delta codec's measured success criterion.
+ratio-gate:
+	$(GO) test ./internal/dataset -run '^TestCompressionRatioGate$$' -v
+
 # Nightly benchmark gate: the same benchmark set with real sampling
 # (-benchtime=$(NIGHTLY_BENCHTIME)) and a much tighter ratio, to catch
 # the slow drift the 3x PR tripwire deliberately ignores.
@@ -81,7 +89,7 @@ bench-nightly-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=$(NIGHTLY_BENCHTIME) $(BENCH_PKGS) 2>&1 | tee bench-nightly.txt
 	$(GO) run ./cmd/benchgate -in bench-nightly.txt -baseline bench/BENCH_nightly_baseline.json -out BENCH_nightly_results.json -max-ratio 1.3 -update
 
-ci: fmt-check vet build race faults fuzz-smoke bench-smoke
+ci: fmt-check vet build race faults fuzz-smoke bench-smoke ratio-gate
 
 clean:
 	$(GO) clean ./...

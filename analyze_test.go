@@ -155,7 +155,7 @@ func TestAnalyzeDatasetParallelMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	tpar.assertEqual(t, tseq, "tolerant")
-	if prep != srep.Stream {
+	if !prep.Equal(srep.Stream) {
 		t.Fatalf("tolerant coverage %+v, want %+v", prep, srep.Stream)
 	}
 	if prep.CorruptBlocks != 1 {

@@ -89,7 +89,9 @@ func usage() {
            -shards N  sharded export: part-NNNN.uv6 files + manifest.uv6m
            -resume    continue a partial dataset from its (user, day) frontier
                       (-o a sharded directory: regenerate only the unfinished parts)
-           -compress  store blocks under the built-in LZ codec (~3x smaller)
+           -compress[=lz|delta|auto]  block compression policy (auto picks
+                      the smallest of delta/lz/identity per block; bare
+                      -compress means lz)
            -faults S  arm fault-injection failpoints (debug; docs/FAULT_INJECTION.md)
   info     summarize a dataset file
   analyze  run the user/IP-centric analyzers over a dataset file
@@ -116,6 +118,31 @@ func inputArg(fs *flag.FlagSet, in *string) {
 	}
 }
 
+// compressFlag parses -compress both as a boolean switch (bare
+// -compress, the pre-policy spelling, meaning lz) and as a policy name
+// (-compress=lz|delta|auto|none). IsBoolFlag makes the flag package
+// accept the bare form; the policy form must use '=' like any Go bool
+// flag.
+type compressFlag struct {
+	policy string
+}
+
+func (c *compressFlag) String() string   { return c.policy }
+func (c *compressFlag) IsBoolFlag() bool { return true }
+func (c *compressFlag) Set(v string) error {
+	switch strings.ToLower(v) {
+	case "true":
+		c.policy = "lz"
+	case "false", "", "none", "identity":
+		c.policy = ""
+	case "lz", "delta", "auto":
+		c.policy = strings.ToLower(v)
+	default:
+		return fmt.Errorf("unknown compression policy %q (want lz, delta, auto, or none)", v)
+	}
+	return nil
+}
+
 func runGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	users := fs.Int("users", 20_000, "population size")
@@ -128,7 +155,8 @@ func runGen(args []string) {
 	sampleSpec := fs.String("sample", "all", "sampler: all, user:R, addr:R, prefixL:R")
 	shards := fs.Int("shards", 0, "sharded export: write N part files + manifest into the -o directory")
 	resume := fs.Bool("resume", false, "continue a partial dataset at -o from its last completed (user, day)")
-	compress := fs.Bool("compress", false, "store blocks under the built-in LZ codec (dataset and binary formats)")
+	var compress compressFlag
+	fs.Var(&compress, "compress", "compression policy: lz, delta, auto, or none (bare -compress means lz; dataset and binary formats)")
 	faults := fs.String("faults", "", "fault-injection spec, e.g. 'part-0001.uv6.tmp:write:off=41232:crash' (debug; see docs/FAULT_INJECTION.md)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this path at exit")
@@ -144,10 +172,7 @@ func runGen(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	codecName := ""
-	if *compress {
-		codecName = "lz"
-	}
+	codecName := compress.policy
 
 	// -faults arms named failpoints over the dataset layer's filesystem
 	// seam: a debug rehearsal of the crash/transient-error recovery the
@@ -171,7 +196,7 @@ func runGen(args []string) {
 	}()
 
 	if *resume {
-		if *compress {
+		if compress.policy != "" {
 			fatal(fmt.Errorf("gen: -resume reads the codec from the partial dataset's header; drop -compress"))
 		}
 		// A directory target (or one holding a manifest) is a sharded
@@ -267,17 +292,13 @@ func runGen(args []string) {
 	var flush func() error
 	switch *format {
 	case "binary":
-		codec := telemetry.CodecIdentity
-		if *compress {
-			codec = telemetry.CodecLZ
-		}
-		w, err := telemetry.NewWriterV2Codec(f, telemetry.DefaultBlockRecords, codec)
+		w, err := telemetry.NewWriterV2Policy(f, telemetry.DefaultBlockRecords, compress.policy)
 		if err != nil {
 			fatal(err)
 		}
 		write, flush = w.Write, w.Flush
 	case "jsonl":
-		if *compress {
+		if compress.policy != "" {
 			fatal(fmt.Errorf("gen: -compress applies to block formats (dataset, binary), not jsonl"))
 		}
 		w := telemetry.NewJSONLWriter(f)
@@ -585,8 +606,19 @@ func printScanReport(rep dataset.ScanReport) {
 			Row("corrupt blocks", rep.Stream.CorruptBlocks).
 			Row("salvageable records", rep.Stream.Records).
 			Row("skipped bytes", rep.Stream.SkippedBytes)
-		if names := rep.Stream.Codecs.Names(); len(names) > 0 {
-			t.Row("block codecs", strings.Join(names, ", "))
+		// Per-codec block counts, not just the codec set: with a
+		// fallback-chain writer the mix (how often the preferred codec
+		// actually won) is what a compression-ratio regression shows up
+		// in, and it is diagnosable from the dataset alone.
+		if len(rep.Stream.CodecBlocks) > 0 {
+			var parts []string
+			for id := 0; id < 32; id++ {
+				cid := telemetry.CodecID(id)
+				if n, ok := rep.Stream.CodecBlocks[cid]; ok {
+					parts = append(parts, fmt.Sprintf("%s: %d", cid, n))
+				}
+			}
+			t.Row("block codecs", strings.Join(parts, ", "))
 		}
 	}
 	verdict := "INTACT"

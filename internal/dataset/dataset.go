@@ -105,8 +105,7 @@ func Create(path string, meta Meta) (*Writer, error) {
 // CreateFS is Create over an explicit filesystem — the seam the
 // fault-injection harness wraps. Production callers use Create.
 func CreateFS(fsys faultio.FS, path string, meta Meta) (*Writer, error) {
-	codec, ok := telemetry.CodecByName(meta.Codec)
-	if !ok {
+	if _, ok := telemetry.CodecChainByName(meta.Codec); !ok {
 		return nil, fmt.Errorf("dataset: unknown block codec %q", meta.Codec)
 	}
 	meta.Format = FormatV2
@@ -129,7 +128,7 @@ func CreateFS(fsys faultio.FS, path string, meta Meta) (*Writer, error) {
 		fsys.Remove(tmp)
 		return nil, fmt.Errorf("dataset: seek: %w", err)
 	}
-	w.tw, err = telemetry.NewWriterV2Codec(f, telemetry.DefaultBlockRecords, codec.ID())
+	w.tw, err = telemetry.NewWriterV2Policy(f, telemetry.DefaultBlockRecords, meta.Codec)
 	if err != nil {
 		f.Close()
 		fsys.Remove(tmp)

@@ -256,7 +256,20 @@ func mergePart(ctx context.Context, w *Writer, path string, opt MergeOptions) (P
 		stream = data[headerSize:]
 	}
 
-	sr, serr, werr := mergeStream(w, stream, opt.Workers)
+	// Passthrough of stored frames is only provably byte-identical when
+	// the part's producer ran the same per-block selection this writer
+	// runs. A single-codec chain needs only the frame's codec to match
+	// (the codec's own determinism covers it); a multi-codec chain picks
+	// by comparing every member's output size, so the part must declare
+	// the same policy — otherwise its blocks are decoded and re-encoded,
+	// which costs CPU but never bytes.
+	passOK := true
+	if chain, ok := telemetry.CodecChainByName(w.meta.Codec); ok && len(chain) > 1 {
+		passOK = haveDeclared &&
+			telemetry.CanonicalPolicy(declared) == telemetry.CanonicalPolicy(w.meta.Codec)
+	}
+
+	sr, serr, werr := mergeStream(w, stream, opt.Workers, passOK)
 	if werr != nil {
 		return cov, werr
 	}
@@ -285,26 +298,36 @@ func mergePart(ctx context.Context, w *Writer, path string, opt MergeOptions) (P
 }
 
 // checkPartCodecs verifies the codecs observed across a part's intact
-// frames against the codec the part declares. The allowed set is the
-// declared codec plus identity: a writer under any codec falls back to
-// identity per block when encoding does not pay, so identity frames
-// inside an "lz" part are legitimate — but an lz frame inside an
+// frames against the compression policy the part declares. The allowed
+// set is the policy's codec chain plus identity: a writer under any
+// policy falls back to identity per block when encoding does not pay,
+// so identity frames inside an "lz" part are legitimate, and an "auto"
+// part may mix delta, lz, and identity — but an lz frame inside an
 // undeclared part is not.
 func checkPartCodecs(declared string, observed telemetry.CodecSet) error {
-	c, ok := telemetry.CodecByName(declared)
+	chain, ok := telemetry.CodecChainByName(declared)
 	if !ok {
 		return fmt.Errorf("%w: part declares codec %q, unknown to this build", ErrCodecMismatch, declared)
+	}
+	allowed := telemetry.CodecSet(0)
+	allowed.Add(telemetry.CodecIdentity)
+	for _, c := range chain {
+		allowed.Add(c.ID())
 	}
 	var bad []string
 	for id := 0; id < 32; id++ {
 		cid := telemetry.CodecID(id)
-		if observed.Has(cid) && cid != c.ID() && cid != telemetry.CodecIdentity {
+		if observed.Has(cid) && !allowed.Has(cid) {
 			bad = append(bad, cid.String())
 		}
 	}
 	if len(bad) > 0 {
+		name := telemetry.CanonicalPolicy(declared)
+		if name == "" {
+			name = "identity"
+		}
 		return fmt.Errorf("%w: declared %q, found frames under %s", ErrCodecMismatch,
-			c.Name(), strings.Join(bad, ", "))
+			name, strings.Join(bad, ", "))
 	}
 	return nil
 }
@@ -313,12 +336,13 @@ func checkPartCodecs(declared string, observed telemetry.CodecSet) error {
 // a worker pool. The scanner (the sequential marker-resync walk) also
 // decides, deterministically, which blocks qualify for passthrough: a
 // block lands in the output byte-identically to re-writing its records
-// iff the writer has no partial block pending, the block is exactly
-// full, and its stored codec equals the writer's. Everything else is
-// decoded by the pool and re-emitted record by record. scanErr reports
-// an unrecognizable stream (non-fatal to the merge); writeErr reports
-// an output-side failure (fatal).
-func mergeStream(w *Writer, stream []byte, workers int) (rep telemetry.SalvageReport, scanErr, writeErr error) {
+// iff the caller established policy compatibility (passOK), the writer
+// has no partial block pending, the block is exactly full, and its
+// stored codec is one the writer's chain could have chosen. Everything
+// else is decoded by the pool and re-emitted record by record. scanErr
+// reports an unrecognizable stream (non-fatal to the merge); writeErr
+// reports an output-side failure (fatal).
+func mergeStream(w *Writer, stream []byte, workers int, passOK bool) (rep telemetry.SalvageReport, scanErr, writeErr error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -348,12 +372,12 @@ func mergeStream(w *Writer, stream []byte, workers int) (rep telemetry.SalvageRe
 	// is exactly where the scanner predicted.
 	pending := w.tw.Pending()
 	perBlock := w.tw.RecordsPerBlock()
-	wcodec := w.tw.Codec()
 	go func() {
 		defer close(jobs)
 		idx := 0
 		rep, scanErr = telemetry.SalvageRawBlocks(stream, func(b telemetry.RawBlock, decoded []byte) {
-			pass := pending == 0 && b.Checksummed() && b.Count == perBlock && b.Codec == wcodec
+			pass := passOK && pending == 0 && b.Checksummed() &&
+				b.Count == perBlock && w.tw.CodecCompatible(b.Codec)
 			if !pass {
 				pending = (pending + b.Count) % perBlock
 			}

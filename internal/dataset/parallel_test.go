@@ -269,7 +269,7 @@ func TestParallelReaderTolerantMatchesSalvage(t *testing.T) {
 			if !ok {
 				t.Fatal("no coverage after tolerant read")
 			}
-			if rep != wantRep.Stream {
+			if !rep.Equal(wantRep.Stream) {
 				t.Fatalf("coverage differs:\nparallel: %+v\n salvage: %+v", rep, wantRep.Stream)
 			}
 		})
@@ -311,7 +311,7 @@ func TestParallelReaderTolerantUnordered(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if rep, ok := pr.Coverage(); !ok || rep != wantRep.Stream {
+	if rep, ok := pr.Coverage(); !ok || !rep.Equal(wantRep.Stream) {
 		t.Fatalf("coverage %+v (ok=%v), want %+v", rep, ok, wantRep.Stream)
 	}
 	sortObs(got)

@@ -206,7 +206,7 @@ func TestSalvageBlocksMatchesSalvage(t *testing.T) {
 			if (werr == nil) != (gerr == nil) {
 				t.Fatalf("error mismatch: %v vs %v", werr, gerr)
 			}
-			if wantRep != gotRep {
+			if !wantRep.Equal(gotRep) {
 				t.Fatalf("reports differ:\n salvage: %+v\n  blocks: %+v", wantRep, gotRep)
 			}
 			if len(want) != len(got) {

@@ -23,6 +23,11 @@ const (
 	// (lz.go). Writers fall back to identity per block when the encoded
 	// form is not strictly smaller, so an LZ stream may mix both.
 	CodecLZ CodecID = 1
+	// CodecDelta stores payloads column-transposed with
+	// frame-of-reference deltas on the sorted user/day columns and an
+	// optional LZ cascade over the residual (delta.go). Same fallback
+	// rule as CodecLZ.
+	CodecDelta CodecID = 2
 )
 
 // String returns the codec's canonical name, or a numeric form for
@@ -76,6 +81,17 @@ func (lzCodec) AppendDecode(dst, src []byte, maxLen int) ([]byte, error) {
 	return lzAppendDecode(dst, src, maxLen)
 }
 
+type deltaCodec struct{}
+
+func (deltaCodec) ID() CodecID  { return CodecDelta }
+func (deltaCodec) Name() string { return "delta" }
+func (deltaCodec) AppendEncode(dst, src []byte) []byte {
+	return deltaAppendEncode(dst, src)
+}
+func (deltaCodec) AppendDecode(dst, src []byte, maxLen int) ([]byte, error) {
+	return deltaAppendDecode(dst, src, maxLen)
+}
+
 // CodecByID resolves a codec identifier. The second result is false
 // for IDs this build does not implement (frames carrying one are
 // treated as corrupt by readers and skipped by salvage).
@@ -85,6 +101,8 @@ func CodecByID(id CodecID) (BlockCodec, bool) {
 		return identityCodec{}, true
 	case CodecLZ:
 		return lzCodec{}, true
+	case CodecDelta:
+		return deltaCodec{}, true
 	}
 	return nil, false
 }
@@ -98,8 +116,44 @@ func CodecByName(name string) (BlockCodec, bool) {
 		return identityCodec{}, true
 	case "lz":
 		return lzCodec{}, true
+	case "delta":
+		return deltaCodec{}, true
 	}
 	return nil, false
+}
+
+// CodecChainByName resolves a compression policy name to a writer
+// fallback chain: the writer encodes each block under every codec in
+// the chain and stores the smallest result (identity when nothing
+// shrinks the payload; chain order breaks ties). Single-codec names
+// resolve to one-element chains; "auto" tries delta first, then LZ. A
+// nil chain with ok=true is the identity policy. Policy names are a
+// strict superset of codec names, so dataset metadata written with a
+// plain codec name resolves unchanged.
+func CodecChainByName(name string) ([]BlockCodec, bool) {
+	switch strings.ToLower(name) {
+	case "", "identity", "none":
+		return nil, true
+	case "lz":
+		return []BlockCodec{lzCodec{}}, true
+	case "delta":
+		return []BlockCodec{deltaCodec{}}, true
+	case "auto":
+		return []BlockCodec{deltaCodec{}, lzCodec{}}, true
+	}
+	return nil, false
+}
+
+// CanonicalPolicy normalizes a compression policy name for equality
+// comparison: case is folded and the identity aliases collapse to "".
+// Unknown names normalize to their folded form, so two datasets with
+// the same unknown label still compare equal.
+func CanonicalPolicy(name string) string {
+	n := strings.ToLower(name)
+	if n == "identity" || n == "none" {
+		return ""
+	}
+	return n
 }
 
 // CodecSet is a bitmask of codec IDs observed in a stream; salvage and

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"maps"
 )
 
 const (
@@ -126,10 +127,10 @@ func (e *CorruptError) Unwrap() error { return ErrCorrupt }
 type WriterV2 struct {
 	bw          *bufio.Writer
 	payload     []byte
-	enc         []byte // scratch for the codec-encoded payload
+	encs        [][]byte // per-chain-codec scratch for encoded payloads
 	hdr         [blockHeaderSize]byte
 	rec         [recordSize]byte
-	codec       BlockCodec // nil means identity (no encode pass at all)
+	chain       []BlockCodec // empty means identity (no encode pass at all)
 	perBlock    int
 	count       int // records in the current (unflushed) block
 	n           uint64
@@ -164,19 +165,57 @@ func NewWriterV2Codec(w io.Writer, recordsPerBlock int, codec CodecID) (*WriterV
 	}
 	wr := NewWriterV2Blocks(w, recordsPerBlock)
 	if c.ID() != CodecIdentity {
-		wr.codec = c
+		wr.chain = []BlockCodec{c}
+		wr.encs = make([][]byte, 1)
 	}
 	return wr, nil
 }
 
-// Codec returns the codec blocks are encoded under (identity for
-// writers created without one). Individual blocks may still be stored
-// as identity when encoding did not pay.
+// NewWriterV2Policy returns a v2 Writer driven by a compression policy
+// name (see CodecChainByName): every block is encoded under each codec
+// in the policy's chain and stored under whichever yields the smallest
+// payload, identity included. With "auto" that makes the per-block
+// selection a delta → lz → identity fallback; ties go to the earlier
+// chain entry.
+func NewWriterV2Policy(w io.Writer, recordsPerBlock int, policy string) (*WriterV2, error) {
+	chain, ok := CodecChainByName(policy)
+	if !ok {
+		return nil, fmt.Errorf("telemetry: unknown compression policy %q", policy)
+	}
+	wr := NewWriterV2Blocks(w, recordsPerBlock)
+	wr.chain = chain
+	wr.encs = make([][]byte, len(chain))
+	return wr, nil
+}
+
+// Codec returns the preferred codec of the writer's chain (identity
+// for writers created without one). Individual blocks may still be
+// stored under a later chain entry or as identity when the preferred
+// encoding did not pay.
 func (w *WriterV2) Codec() CodecID {
-	if w.codec == nil {
+	if len(w.chain) == 0 {
 		return CodecIdentity
 	}
-	return w.codec.ID()
+	return w.chain[0].ID()
+}
+
+// CodecCompatible reports whether a stored block under codec id could
+// have been produced by this writer's encode step: identity for a
+// chain-less writer, any chain member otherwise. Identity blocks under
+// a chained writer are NOT compatible — an identity frame could be an
+// uncompressed source or an encoder fallback, and the two cannot be
+// told apart without re-encoding. WriteEncodedBlock and the merge
+// passthrough planner use this as their codec gate.
+func (w *WriterV2) CodecCompatible(id CodecID) bool {
+	if len(w.chain) == 0 {
+		return id == CodecIdentity
+	}
+	for _, c := range w.chain {
+		if c.ID() == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Pending returns the records buffered in the block in progress.
@@ -216,10 +255,12 @@ func (w *WriterV2) emitBlock() error {
 		return nil
 	}
 	stored, codec := w.payload, CodecIdentity
-	if w.codec != nil {
-		w.enc = w.codec.AppendEncode(w.enc[:0], w.payload)
-		if len(w.enc) < len(w.payload) {
-			stored, codec = w.enc, w.codec.ID()
+	for i, c := range w.chain {
+		w.encs[i] = c.AppendEncode(w.encs[i][:0], w.payload)
+		// Strictly smaller wins; on a tie the earlier chain entry (or
+		// identity) keeps the block, so selection is deterministic.
+		if len(w.encs[i]) < len(stored) {
+			stored, codec = w.encs[i], c.ID()
 		}
 	}
 	h := w.hdr[:]
@@ -243,13 +284,19 @@ func (w *WriterV2) emitBlock() error {
 // it, the merge fast path. It only applies when the result is provably
 // byte-identical to feeding the block's records through Write: no
 // partial block may be pending, the block must be exactly full, and
-// its stored codec must equal this writer's target codec (an identity
-// block under an LZ writer could be either an uncompressed source or
-// an encoder fallback — indistinguishable, so it is re-encoded via the
-// slow path instead). Returns false, nil when the block does not
-// qualify; the caller then decodes and writes records normally.
+// its stored codec must be one this writer's chain could have chosen
+// (an identity block under a chained writer could be either an
+// uncompressed source or an encoder fallback — indistinguishable, so
+// it is re-encoded via the slow path instead). For multi-codec chains
+// the caller must additionally know the block came from a writer with
+// the SAME chain — chain selection depends on every member's output
+// size, so a block a single-codec writer stored under lz might lose to
+// delta under "auto"; the dataset merge layer enforces this with its
+// declared-policy cross-check before offering blocks here. Returns
+// false, nil when the block does not qualify; the caller then decodes
+// and writes records normally.
 func (w *WriterV2) WriteEncodedBlock(b RawBlock) (bool, error) {
-	if b.version < 2 || b.Count != w.perBlock || w.count != 0 || b.Codec != w.Codec() {
+	if b.version < 2 || b.Count != w.perBlock || w.count != 0 || !w.CodecCompatible(b.Codec) {
 		return false, nil
 	}
 	if err := w.writeMagic(); err != nil {
@@ -387,6 +434,32 @@ type SalvageReport struct {
 	// cross-check a stream's frames against its declared codec (a v1
 	// stream or one with zero intact blocks leaves it empty).
 	Codecs CodecSet
+	// CodecBlocks counts intact blocks per codec, the per-codec
+	// breakdown behind Codecs: with a fallback-chain writer a stream
+	// legitimately mixes codecs, and the mix — how many blocks the
+	// preferred codec actually won — is what a compression-ratio
+	// regression shows up in. Nil for v1 streams and streams with zero
+	// intact v2 blocks.
+	CodecBlocks map[CodecID]uint64
+}
+
+// Equal reports whether two reports describe identical coverage,
+// per-codec block counts included (the map makes the struct itself
+// non-comparable).
+func (r SalvageReport) Equal(o SalvageReport) bool {
+	return r.Version == o.Version && r.Blocks == o.Blocks &&
+		r.CorruptBlocks == o.CorruptBlocks && r.Records == o.Records &&
+		r.SkippedBytes == o.SkippedBytes && r.Codecs == o.Codecs &&
+		maps.Equal(r.CodecBlocks, o.CodecBlocks)
+}
+
+// addCodecBlock records one intact block stored under id.
+func (r *SalvageReport) addCodecBlock(id CodecID) {
+	r.Codecs.Add(id)
+	if r.CodecBlocks == nil {
+		r.CodecBlocks = make(map[CodecID]uint64, 2)
+	}
+	r.CodecBlocks[id]++
 }
 
 // Intact reports whether the stream decoded end to end with nothing
@@ -543,7 +616,7 @@ func salvageWalk(data []byte, visit func(b RawBlock, decoded []byte)) (SalvageRe
 				rep.Blocks++
 				rep.Records += uint64(count)
 				rep.SkippedBytes += int64(i - lastEnd)
-				rep.Codecs.Add(codec)
+				rep.addCodecBlock(codec)
 				if visit != nil {
 					visit(RawBlock{
 						Index:   rep.Blocks - 1,
