@@ -4,7 +4,7 @@ FUZZTIME ?= 10s
 # analysis hot paths, checked against bench/BENCH_baseline.json (3x
 # tripwire on PRs; the nightly run re-gates the same set at 1.3x with
 # real -benchtime sampling).
-BENCH_GATE = ^(BenchmarkGenerateWeek|BenchmarkGenerateDay|BenchmarkWriterV2|BenchmarkReaderV2|BenchmarkWriterV2LZ|BenchmarkReaderV2LZ|BenchmarkWriterV2Delta|BenchmarkReaderV2Delta|BenchmarkTrieUpdate|BenchmarkTrieLookup|BenchmarkRollup|BenchmarkUserCentricObserve|BenchmarkIPCentricObserve|BenchmarkAnalyzeSequential|BenchmarkAnalyzeParallel)$$
+BENCH_GATE = ^(BenchmarkGenerateWeek|BenchmarkGenerateDay|BenchmarkWriterV2|BenchmarkReaderV2|BenchmarkWriterV2LZ|BenchmarkReaderV2LZ|BenchmarkWriterV2Delta|BenchmarkReaderV2Delta|BenchmarkTrieUpdate|BenchmarkTrieLookup|BenchmarkRollup|BenchmarkUserCentricObserve|BenchmarkIPCentricObserve|BenchmarkAnalyzeSequential|BenchmarkAnalyzeParallel|BenchmarkAnalyzeFused|BenchmarkAnalyzeUnordered)$$
 BENCH_PKGS = . ./internal/telemetry ./internal/trie ./internal/core
 NIGHTLY_BENCHTIME = 2s
 FUZZ_TARGETS = \
@@ -17,7 +17,7 @@ FUZZ_TARGETS = \
 	./internal/dataset:FuzzDatasetOpen \
 	./internal/dataset:FuzzDatasetRoundTrip
 
-.PHONY: all build vet fmt-check test race faults fuzz-smoke bench-smoke bench-baseline ratio-gate ci clean
+.PHONY: all build vet fmt-check test race faults fused-race fuzz-smoke bench-smoke bench-baseline ratio-gate ci clean
 
 all: build
 
@@ -48,6 +48,13 @@ FAULTS_FLAGS ?=
 faults:
 	$(GO) test -race $(FAULTS_FLAGS) ./internal/faultio ./internal/retry
 	$(GO) test -race $(FAULTS_FLAGS) -run 'TestShardedResume|TestMergeRetriesTransientIO|TestMergeCtxCancelled' . ./internal/dataset
+
+# Fused-path race gate: the fused decode+analyze pipeline (worker-local
+# replicas, all default analyzers), completion-order delivery, and the
+# ForEachWorker reader primitives under the race detector. FAULTS_FLAGS
+# conventions apply: -short for the PR lane, full sweep nightly.
+fused-race:
+	$(GO) test -race $(FAULTS_FLAGS) -run 'TestAnalyzeDatasetFused|TestAnalyzeDatasetUnordered|TestForEachWorker' . ./internal/dataset
 
 # Short native-fuzz smoke over every decoder fuzz target: catches
 # panics and typed-error regressions without a long campaign.
@@ -89,7 +96,7 @@ bench-nightly-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=$(NIGHTLY_BENCHTIME) $(BENCH_PKGS) 2>&1 | tee bench-nightly.txt
 	$(GO) run ./cmd/benchgate -in bench-nightly.txt -baseline bench/BENCH_nightly_baseline.json -out BENCH_nightly_results.json -max-ratio 1.3 -update
 
-ci: fmt-check vet build race faults fuzz-smoke bench-smoke ratio-gate
+ci: fmt-check vet build race faults fused-race fuzz-smoke bench-smoke ratio-gate
 
 clean:
 	$(GO) clean ./...

@@ -24,23 +24,27 @@ type analyzeSet struct {
 	prev  *core.Prevalence
 }
 
+// newAnalyzeSet registers every analyzer commutatively: each one's
+// Merge is exact for arbitrary (not just user-disjoint) stream splits,
+// which is what qualifies the default set for the fused and unordered
+// analysis paths.
 func newAnalyzeSet() analyzeSet {
 	_, to := AnalysisWeek()
 	s := analyzeSet{set: core.NewAnalyzerSet()}
 	s.uc = core.NewUserCentricFor(false)
-	core.AddAnalyzer(s.set, s.uc,
+	core.AddCommutativeAnalyzer(s.set, s.uc,
 		func() *core.UserCentric { return core.NewUserCentricFor(false) }, (*core.UserCentric).Merge)
 	s.ic = core.NewIPCentric(netaddr.IPv6, 64)
-	core.AddAnalyzer(s.set, s.ic,
+	core.AddCommutativeAnalyzer(s.set, s.ic,
 		func() *core.IPCentric { return core.NewIPCentric(netaddr.IPv6, 64) }, (*core.IPCentric).Merge)
 	s.churn = core.NewChurnAttribution(to - 2)
-	core.AddAnalyzer(s.set, s.churn,
+	core.AddCommutativeAnalyzer(s.set, s.churn,
 		func() *core.ChurnAttribution { return core.NewChurnAttribution(to - 2) }, (*core.ChurnAttribution).Merge)
 	s.life = core.NewLifespans(to, 64, 128, 32)
-	core.AddAnalyzer(s.set, s.life,
+	core.AddCommutativeAnalyzer(s.set, s.life,
 		func() *core.Lifespans { return core.NewLifespans(to, 64, 128, 32) }, (*core.Lifespans).Merge)
 	s.prev = core.NewPrevalence()
-	core.AddAnalyzerFiltered(s.set, s.prev, core.NewPrevalence, (*core.Prevalence).Merge,
+	core.AddCommutativeAnalyzerFiltered(s.set, s.prev, core.NewPrevalence, (*core.Prevalence).Merge,
 		func(o telemetry.Observation) bool { return !o.Abusive })
 	return s
 }

@@ -76,3 +76,36 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAnalyzeFused runs the replay on the fused fast path: the
+// decode workers are the analyzer workers, each feeding a worker-local
+// replica with no ordered-delivery heap, no hash router, and no
+// cross-goroutine record handoff; one fold at the end.
+func BenchmarkAnalyzeFused(b *testing.B) {
+	path := writeBenchDataset(b)
+	sim := getBenchSim()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newAnalyzeSet()
+		if _, err := sim.AnalyzeDatasetFused(context.Background(), path, benchAnalyzeWorkers, s.set, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeUnordered runs the replay with completion-order batch
+// delivery into a channel pool of analyzer replicas — one cross-
+// goroutine handoff per batch, against the fused path's zero.
+func BenchmarkAnalyzeUnordered(b *testing.B) {
+	path := writeBenchDataset(b)
+	sim := getBenchSim()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newAnalyzeSet()
+		if _, err := sim.AnalyzeDatasetUnordered(context.Background(), path, benchAnalyzeWorkers, s.set, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -94,10 +94,15 @@ func usage() {
                       -compress means lz)
            -faults S  arm fault-injection failpoints (debug; docs/FAULT_INJECTION.md)
   info     summarize a dataset file
-  analyze  run the user/IP-centric analyzers over a dataset file
+  analyze  run the user/IP-centric + churn analyzers over a dataset file
            -tolerant  salvage-path read: skip corrupt blocks, report coverage
-           -workers N block-parallel decode + analysis (0 = all CPUs, 1 = sequential)
-           -unordered completion-order delivery (all analyzers are commutative)
+           -workers N block-parallel decode + analysis (0 = all CPUs, 1 = sequential);
+                      the default analyzer set is commutative, so parallel runs
+                      use the fused path (decode workers feed worker-local
+                      analyzer replicas, folded once at the end)
+           -unordered completion-order batch delivery into a replica pool
+                      (errors if any analyzer withholds the commutative
+                      declaration, naming the offender)
   verify   check dataset integrity (block checksums, record counts)
   salvage  recover intact records from a damaged dataset into a new file
   merge    fold sharded part files into one canonical dataset
@@ -735,11 +740,13 @@ func runAnalyze(args []string) {
 	fs.Parse(args)
 	inputArg(fs, in)
 
-	// Every analyzer this command registers dedups into set-shaped
-	// per-(user, prefix) state, so accumulation commutes — which is what
-	// legalizes -unordered below. An order-sensitive analyzer (e.g.
-	// churn attribution) would register with AddAnalyzer and the
-	// Commutative() check would refuse unordered delivery.
+	// Every analyzer this command registers — including churn, since its
+	// first-sight-tuple reformulation — folds exactly under arbitrary
+	// stream partition, so the whole set declares commutative
+	// accumulation. That legalizes both the fused default below (decode
+	// workers feeding worker-local replicas) and -unordered delivery; an
+	// order-sensitive analyzer would register with AddAnalyzer and the
+	// NonCommutative() check would name it in the refusal.
 	set := core.NewAnalyzerSet()
 	uc := core.NewUserCentricFor(false)
 	core.AddCommutativeAnalyzer(set, uc,
@@ -753,13 +760,22 @@ func runAnalyze(args []string) {
 	ic4 := addIC(netaddr.IPv4, 32)
 	ic6 := addIC(netaddr.IPv6, 128)
 	ic64 := addIC(netaddr.IPv6, 64)
+	// Churn counts new-address events after a one-day warmup: the first
+	// recorded day only builds history (every address is trivially "new"
+	// then). A headerless raw stream has no window metadata, so it gets
+	// no warmup and day-0 sightings count.
+	countFrom := churnCountFrom(*in)
+	churn := core.NewChurnAttribution(countFrom)
+	core.AddCommutativeAnalyzer(set, churn,
+		func() *core.ChurnAttribution { return core.NewChurnAttribution(countFrom) }, (*core.ChurnAttribution).Merge)
 
 	if *unordered {
 		if *workers == 1 {
 			fatal(fmt.Errorf("analyze: -unordered needs the parallel reader; use -workers 0 or > 1"))
 		}
-		if !set.Commutative() {
-			fatal(fmt.Errorf("analyze: -unordered requires every registered analyzer to be commutative"))
+		if names := set.NonCommutative(); len(names) > 0 {
+			fatal(fmt.Errorf("analyze: -unordered requires every analyzer to declare a commutative Merge; non-commutative: %s",
+				strings.Join(names, ", ")))
 		}
 	}
 
@@ -785,6 +801,28 @@ func runAnalyze(args []string) {
 	pat := uc.AddrPatterns()
 	fmt.Printf("EUI-64 users: %s; transition-protocol users: %s\n",
 		report.Percent(pat.EUI64Share), report.Percent(pat.TeredoShare+pat.SixToFourShare))
+	bd := churn.Breakdown()
+	fmt.Printf("address churn (from day %d): %d events — IID rotation %s, subnet move %s, network switch %s\n",
+		int(countFrom), bd.Total,
+		report.Percent(bd.Share(core.IIDRotation)),
+		report.Percent(bd.Share(core.SubnetMove)),
+		report.Percent(bd.Share(core.NetworkSwitch)))
+}
+
+// churnCountFrom peeks at the dataset header to place churn's warmup
+// boundary one day past the window start. Raw streams (or unreadable
+// headers — the tolerant path diagnoses those properly later) count
+// from day zero.
+func churnCountFrom(path string) simtime.Day {
+	r, err := dataset.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer r.Close()
+	if m := r.Meta(); m.ToDay > m.FromDay {
+		return simtime.Day(m.FromDay + 1)
+	}
+	return 0
 }
 
 // analyzeSequential is the -workers 1 path: the original single-thread
@@ -814,12 +852,15 @@ func analyzeSequential(in string, tolerant bool, set *core.AnalyzerSet) {
 }
 
 // analyzeParallel reads the dataset through the block-parallel decode
-// pool. Ordered (the default): records fan out to per-worker analyzer
-// replicas routed by user hash, identical to the sequential path. With
-// unordered set, batches are delivered concurrently in completion
-// order — no reorder buffer — and each lands on whichever analyzer
-// replica is free; the fold is exact because runAnalyze only permits
-// this mode when every analyzer declared commutative accumulation.
+// pool. The default for a commutative set is the fused path: the decode
+// workers are the analyzer workers, each feeding a worker-local replica
+// straight from the block it just decoded — no reorder buffer, no hash
+// router, no cross-goroutine record handoff. With -unordered, batches
+// are instead delivered concurrently in completion order and each lands
+// on whichever analyzer replica is free. A set with any non-commutative
+// registration keeps the ordered, hash-routed pipeline, which preserves
+// per-user stream order. All three produce identical analyzer state for
+// commutative sets.
 func analyzeParallel(in string, tolerant, unordered bool, workers int, set *core.AnalyzerSet) {
 	pr, err := dataset.OpenParallel(in, dataset.ParallelOptions{
 		Workers: workers, Tolerant: tolerant, Unordered: unordered,
@@ -832,9 +873,12 @@ func analyzeParallel(in string, tolerant, unordered bool, workers int, set *core
 		fmt.Printf("%s\n\n", metaLine(pr.Meta()))
 	}
 
-	if unordered {
+	switch {
+	case unordered:
 		analyzeUnordered(pr, workers, set)
-	} else {
+	case set.Commutative():
+		analyzeFused(pr, set)
+	default:
 		pipe := set.NewPipeline(workers)
 		err = pr.ForEachBatch(context.Background(), func(b dataset.Batch) error {
 			pipe.ObserveBatch(b.Recs)
@@ -851,6 +895,29 @@ func analyzeParallel(in string, tolerant, unordered bool, workers int, set *core
 	if rep, ok := pr.Coverage(); ok {
 		printCoverage(rep)
 	}
+}
+
+// analyzeFused is the default parallel mode for commutative sets: one
+// analyzer replica per decode worker, fed inline by that worker, folded
+// once when the stream drains. The factory below runs serially before
+// any decode starts (ForEachWorker's contract), so the replicas slice
+// needs no locking.
+func analyzeFused(pr *dataset.ParallelReader, set *core.AnalyzerSet) {
+	replicas := make([]*core.Replica, pr.Workers())
+	err := pr.ForEachWorker(context.Background(), func(w int) func(dataset.Batch) error {
+		r := set.NewReplica()
+		replicas[w] = r
+		return func(b dataset.Batch) error {
+			for _, o := range b.Recs {
+				r.Observe(o)
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
+	}
+	set.Fold(replicas...)
 }
 
 // analyzeUnordered consumes completion-order batches. The parallel

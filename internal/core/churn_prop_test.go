@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"userv6/internal/netaddr"
+	"userv6/internal/rng"
+	"userv6/internal/simtime"
+	"userv6/internal/telemetry"
+)
+
+// seqChurn is the original order-dependent churn formulation, kept here
+// verbatim as the reference the commutative reformulation must match:
+// a (user, address) pair is "new" at its first stream sighting and is
+// classified against the /64 and /44 history accumulated strictly
+// before that sighting. It requires a per-user non-decreasing day feed.
+type seqChurn struct {
+	countFrom simtime.Day
+	seenAddr  map[pairKey]struct{}
+	seen64    map[pairKey]struct{}
+	seen44    map[pairKey]struct{}
+	counts    [3]uint64
+}
+
+func newSeqChurn(countFrom simtime.Day) *seqChurn {
+	return &seqChurn{
+		countFrom: countFrom,
+		seenAddr:  make(map[pairKey]struct{}),
+		seen64:    make(map[pairKey]struct{}),
+		seen44:    make(map[pairKey]struct{}),
+	}
+}
+
+func (c *seqChurn) Observe(o telemetry.Observation) {
+	if !o.Addr.Is6() {
+		return
+	}
+	addrKey := pairKey{uid: o.UserID, pfx: netaddr.PrefixFrom(o.Addr, 128)}
+	if _, dup := c.seenAddr[addrKey]; dup {
+		return
+	}
+	key64 := pairKey{uid: o.UserID, pfx: netaddr.PrefixFrom(o.Addr, 64)}
+	key44 := pairKey{uid: o.UserID, pfx: netaddr.PrefixFrom(o.Addr, 44)}
+	_, had64 := c.seen64[key64]
+	_, had44 := c.seen44[key44]
+	c.seenAddr[addrKey] = struct{}{}
+	c.seen64[key64] = struct{}{}
+	c.seen44[key44] = struct{}{}
+	if o.Day < c.countFrom {
+		return
+	}
+	switch {
+	case had64:
+		c.counts[IIDRotation]++
+	case had44:
+		c.counts[SubnetMove]++
+	default:
+		c.counts[NetworkSwitch]++
+	}
+}
+
+func (c *seqChurn) breakdown() ChurnBreakdown {
+	return ChurnBreakdown{
+		IIDRotation:   c.counts[IIDRotation],
+		SubnetMove:    c.counts[SubnetMove],
+		NetworkSwitch: c.counts[NetworkSwitch],
+		Total:         c.counts[0] + c.counts[1] + c.counts[2],
+	}
+}
+
+// churnStream synthesizes a randomized observation stream designed to
+// hit every classification edge: users rotating IIDs within /64s,
+// moving /64s within /44s, switching /44s, repeat sightings of old
+// addresses, same-day cohorts (several new addresses of one /64 — and
+// several new /64s of one /44 — all first seen the same day), IPv4
+// noise, and activity straddling the CountFrom warmup boundary.
+func churnStream(seed uint64, users int, days simtime.Day) []telemetry.Observation {
+	src := rng.New(seed)
+	type state struct {
+		region, subnet, iid uint64
+	}
+	states := make([]state, users)
+	for u := range states {
+		states[u] = state{region: src.Uint64() % 6, subnet: src.Uint64() % 4, iid: src.Uint64() % 32}
+	}
+	var out []telemetry.Observation
+	addrOf := func(st state) netaddr.Addr {
+		hi := 0x2001_0db8_0000_0000 | st.region<<20 | st.subnet
+		return netaddr.AddrFrom6(hi, st.iid)
+	}
+	for day := simtime.Day(0); day < days; day++ {
+		for u := 0; u < users; u++ {
+			st := &states[u]
+			// A burst of sightings per (user, day) manufactures
+			// same-day cohorts: multiple fresh addresses, sometimes in
+			// multiple fresh /64s of a fresh /44, land on one day.
+			burst := 1 + int(src.Uint64()%3)
+			for b := 0; b < burst; b++ {
+				switch r := src.Uint64() % 100; {
+				case r < 6:
+					st.region = src.Uint64() % 6
+					st.subnet = src.Uint64() % 4
+					st.iid = src.Uint64() % 32
+				case r < 26:
+					st.subnet = src.Uint64() % 4
+					st.iid = src.Uint64() % 32
+				case r < 72:
+					st.iid = src.Uint64() % 32
+				default:
+					// Keep the current address: a repeat sighting.
+				}
+				out = append(out, telemetry.Observation{
+					Day:    day,
+					UserID: uint64(u),
+					Addr:   addrOf(*st),
+				})
+			}
+			if u%4 == 0 {
+				out = append(out, telemetry.Observation{
+					Day:    day,
+					UserID: uint64(u),
+					Addr:   netaddr.AddrFrom4(0x0a00_0000 | uint32(u)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// shuffled returns a seeded permutation of the stream.
+func shuffled(src *rng.Source, stream []telemetry.Observation) []telemetry.Observation {
+	out := append([]telemetry.Observation(nil), stream...)
+	for i := len(out) - 1; i > 0; i-- {
+		j := int(src.Uint64() % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// TestChurnCommutativeMatchesSequential is the equivalence property the
+// commutative reformulation rests on: for randomized streams, the
+// min-day formulation — fed any permutation, or split arbitrarily (not
+// just user-disjointly) across replicas and merged — produces exactly
+// the breakdown the order-dependent walk produces on the day-ordered
+// stream. CountFrom sits mid-stream so the warmup boundary is
+// exercised: history built before it must suppress counting without
+// suppressing attribution.
+func TestChurnCommutativeMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		seed      uint64
+		users     int
+		days      simtime.Day
+		countFrom simtime.Day
+	}{
+		{seed: 1, users: 60, days: 8, countFrom: 3},
+		{seed: 2, users: 120, days: 6, countFrom: 0},  // no warmup
+		{seed: 3, users: 40, days: 10, countFrom: 10}, // all warmup: zero counts
+		{seed: 4, users: 200, days: 5, countFrom: 2},
+		{seed: 5, users: 15, days: 12, countFrom: 6},
+	} {
+		stream := churnStream(tc.seed, tc.users, tc.days)
+
+		// Reference: the order-dependent walk over the day-ordered
+		// stream (churnStream emits days in order already; sort keeps
+		// the within-day order stable, mirroring a generator feed).
+		sort.SliceStable(stream, func(i, j int) bool { return stream[i].Day < stream[j].Day })
+		ref := newSeqChurn(tc.countFrom)
+		for _, o := range stream {
+			ref.Observe(o)
+		}
+		want := ref.breakdown()
+		if tc.countFrom == 10 && want.Total != 0 {
+			t.Fatalf("seed %d: warmup-only stream counted %+v", tc.seed, want)
+		}
+
+		src := rng.New(tc.seed * 7777)
+		perm := shuffled(src, stream)
+
+		// Property 1: a single analyzer fed the shuffled stream.
+		one := NewChurnAttribution(tc.countFrom)
+		for _, o := range perm {
+			one.Observe(o)
+		}
+		if got := one.Breakdown(); got != want {
+			t.Fatalf("seed %d: shuffled feed %+v, want %+v", tc.seed, got, want)
+		}
+
+		// Property 2: arbitrary (round-robin, user-interleaved) splits
+		// of the shuffled stream across 1..5 replicas, merged.
+		for replicas := 1; replicas <= 5; replicas++ {
+			parts := make([]*ChurnAttribution, replicas)
+			for i := range parts {
+				parts[i] = NewChurnAttribution(tc.countFrom)
+			}
+			for i, o := range perm {
+				parts[i%replicas].Observe(o)
+			}
+			merged := parts[0]
+			for _, p := range parts[1:] {
+				merged.Merge(p)
+			}
+			if got := merged.Breakdown(); got != want {
+				t.Fatalf("seed %d, %d replicas: merged %+v, want %+v", tc.seed, replicas, got, want)
+			}
+		}
+
+		// Property 3: a skewed (size-biased, block-wise) split — the
+		// shape a block-parallel reader actually produces.
+		a, b := NewChurnAttribution(tc.countFrom), NewChurnAttribution(tc.countFrom)
+		cut := len(perm) / 7
+		for i, o := range perm {
+			if i < cut || i%3 == 0 {
+				a.Observe(o)
+			} else {
+				b.Observe(o)
+			}
+		}
+		a.Merge(b)
+		if got := a.Breakdown(); got != want {
+			t.Fatalf("seed %d: block split %+v, want %+v", tc.seed, got, want)
+		}
+	}
+}
+
+// TestChurnWarmupBoundaryExact pins the CountFrom boundary precisely:
+// a pair first seen the day before CountFrom is history only; a pair
+// first seen exactly on CountFrom counts — and both verdicts survive
+// shuffling and re-sighting after the boundary.
+func TestChurnWarmupBoundaryExact(t *testing.T) {
+	obs := []telemetry.Observation{
+		{Day: 4, UserID: 1, Addr: netaddr.MustParseAddr("2001:db8:0:1::a")}, // warmup: history only
+		{Day: 5, UserID: 1, Addr: netaddr.MustParseAddr("2001:db8:0:1::b")}, // on boundary: IID rotation
+		{Day: 6, UserID: 1, Addr: netaddr.MustParseAddr("2001:db8:0:1::a")}, // re-sight of warmup addr: nothing
+		{Day: 5, UserID: 2, Addr: netaddr.MustParseAddr("2001:db8:0:2::a")}, // on boundary, no history: network switch
+	}
+	want := ChurnBreakdown{IIDRotation: 1, NetworkSwitch: 1, Total: 2}
+
+	for perm := 0; perm < 6; perm++ {
+		src := rng.New(uint64(perm) + 99)
+		c := NewChurnAttribution(5)
+		for _, o := range shuffled(src, obs) {
+			c.Observe(o)
+		}
+		if got := c.Breakdown(); got != want {
+			t.Fatalf("perm %d: %+v, want %+v", perm, got, want)
+		}
+	}
+}

@@ -5,10 +5,21 @@ import (
 	"testing"
 
 	"userv6/internal/netaddr"
+	"userv6/internal/telemetry"
 )
 
+// orderSensitive is a stand-in for an analyzer that genuinely inspects
+// consecutive-observation transitions and so must never be declared
+// commutative. (Churn attribution used to be the in-tree example; its
+// first-sight-tuple reformulation made it order-free.)
+type orderSensitive struct{ last uint64 }
+
+func (o *orderSensitive) Observe(ob telemetry.Observation) { o.last = ob.UserID }
+func (o *orderSensitive) merge(*orderSensitive)            {}
+
 // TestCommutativeDeclaration: the Commutative flag is per-registration
-// and the set only reports commutative when every analyzer opted in.
+// and the set only reports commutative when every analyzer opted in;
+// NonCommutative names the registrations that withhold the guarantee.
 func TestCommutativeDeclaration(t *testing.T) {
 	empty := NewAnalyzerSet()
 	if !empty.Commutative() {
@@ -18,14 +29,24 @@ func TestCommutativeDeclaration(t *testing.T) {
 	set := NewAnalyzerSet()
 	AddCommutativeAnalyzer(set, NewUserCentricFor(false),
 		func() *UserCentric { return NewUserCentricFor(false) }, (*UserCentric).Merge)
+	AddCommutativeAnalyzer(set, NewChurnAttribution(2),
+		func() *ChurnAttribution { return NewChurnAttribution(2) }, (*ChurnAttribution).Merge)
 	if !set.Commutative() {
 		t.Fatal("all-commutative set must report commutative")
 	}
+	if names := set.NonCommutative(); len(names) != 0 {
+		t.Fatalf("commutative set names offenders: %v", names)
+	}
 
-	AddAnalyzer(set, NewChurnAttribution(2),
-		func() *ChurnAttribution { return NewChurnAttribution(2) }, (*ChurnAttribution).Merge)
+	AddAnalyzer(set, &orderSensitive{},
+		func() *orderSensitive { return &orderSensitive{} },
+		func(into, from *orderSensitive) { into.merge(from) })
 	if set.Commutative() {
 		t.Fatal("one order-dependent analyzer must veto commutativity")
+	}
+	names := set.NonCommutative()
+	if len(names) != 1 || names[0] != "*core.orderSensitive" {
+		t.Fatalf("NonCommutative = %v, want the orderSensitive registration", names)
 	}
 }
 

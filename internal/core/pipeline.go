@@ -5,15 +5,21 @@ package core
 // each own a private replica of every registered analyzer. Observations
 // route to workers by a hash of the user ID, so each user's full
 // in-order history lands on exactly one worker and per-user analyzer
-// state never crosses goroutines — which is what makes the fold exact
-// even for the order-dependent churn attribution (see
-// ChurnAttribution.Merge). Close folds the replicas into the primaries
-// with the analyzers' Merge methods.
+// state never crosses goroutines — the guarantee an order-dependent
+// analyzer needs for an exact fold. (Every built-in analyzer is now
+// commutative — see ChurnAttribution.Merge — so the default set can
+// also skip routing entirely via the fused Replica-per-decode-worker
+// path; the Pipeline remains the fallback for sets that withhold the
+// declaration.) Close folds the replicas into the primaries with the
+// analyzers' Merge methods.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"userv6/internal/telemetry"
@@ -35,6 +41,7 @@ type AnalyzerSet struct {
 }
 
 type registration struct {
+	name        string
 	primary     Observer
 	mk          func() Observer
 	fold        func(replica Observer)
@@ -63,6 +70,7 @@ func AddAnalyzer[T Observer](s *AnalyzerSet, primary T, mk func() T, fold func(i
 // must be pure.
 func AddAnalyzerFiltered[T Observer](s *AnalyzerSet, primary T, mk func() T, fold func(into, from T), filter func(telemetry.Observation) bool) {
 	s.regs = append(s.regs, registration{
+		name:    fmt.Sprintf("%T", primary),
 		primary: primary,
 		mk:      func() Observer { return mk() },
 		fold:    func(replica Observer) { fold(primary, replica.(T)) },
@@ -77,13 +85,25 @@ func AddAnalyzerFiltered[T Observer](s *AnalyzerSet, primary T, mk func() T, fol
 // observations — or splitting it arbitrarily (not just user-disjointly)
 // across replicas and folding — must leave state identical to the
 // in-order sequential feed. Declaring it is what authorizes
-// completion-order delivery (analyze -unordered): the caller checks
-// Commutative() before abandoning stream order. Analyzers that dedup
-// into set-shaped state (UserCentric's and IPCentric's (user, prefix)
-// pair sets) qualify; anything tracking transitions between consecutive
-// observations (churn attribution) does not.
+// completion-order delivery (analyze -unordered) and the fused
+// decode+analyze path: the caller checks Commutative() before
+// abandoning stream order. Analyzers whose state is a pure set- or
+// lattice-fold qualify: set-shaped dedup (UserCentric's and
+// IPCentric's (user, prefix) pair sets), min/OR folds (Lifespans),
+// sum/OR folds (Prevalence), and min-day first-sight tuples
+// (ChurnAttribution since its commutative reformulation). An analyzer
+// that inspects transitions between consecutive observations at
+// Observe time would not.
 func AddCommutativeAnalyzer[T Observer](s *AnalyzerSet, primary T, mk func() T, fold func(into, from T)) {
-	AddAnalyzer(s, primary, mk, fold)
+	AddCommutativeAnalyzerFiltered(s, primary, mk, fold, nil)
+}
+
+// AddCommutativeAnalyzerFiltered is AddAnalyzerFiltered plus the
+// order-insensitivity declaration of AddCommutativeAnalyzer. The
+// filter runs on worker goroutines and must be pure; a pure filter
+// preserves commutativity (it only thins the multiset).
+func AddCommutativeAnalyzerFiltered[T Observer](s *AnalyzerSet, primary T, mk func() T, fold func(into, from T), filter func(telemetry.Observation) bool) {
+	AddAnalyzerFiltered(s, primary, mk, fold, filter)
 	s.regs[len(s.regs)-1].commutative = true
 }
 
@@ -92,12 +112,21 @@ func AddCommutativeAnalyzer[T Observer](s *AnalyzerSet, primary T, mk func() T, 
 // empty set). Only then is unordered, arbitrarily-partitioned delivery
 // exact.
 func (s *AnalyzerSet) Commutative() bool {
+	return len(s.NonCommutative()) == 0
+}
+
+// NonCommutative returns the type names of every registered analyzer
+// that was NOT declared commutative — the analyzers an unordered or
+// fused run would have to name when refusing to start. Empty for a set
+// that is safe to feed in any order.
+func (s *AnalyzerSet) NonCommutative() []string {
+	var out []string
 	for i := range s.regs {
 		if !s.regs[i].commutative {
-			return false
+			out = append(out, s.regs[i].name)
 		}
 	}
-	return true
+	return out
 }
 
 // Observe feeds one observation to every registered primary directly —
@@ -173,6 +202,13 @@ func (e *WorkerPanicError) Error() string {
 // amortize channel synchronization, small enough to keep workers busy.
 const pipelineBatch = 512
 
+// pipelineChanDepth is each worker's channel buffer in batches. Deep
+// enough that the single-goroutine router never stalls on one busy
+// worker while others sit idle: with block-sized ObserveBatch sends
+// (one sub-batch per worker per block) the router can stay a dozen
+// blocks ahead of the slowest worker.
+const pipelineChanDepth = 16
+
 // Pipeline routes a telemetry stream across analyzer-replica workers.
 // Observe must be called from a single goroutine (it is the router);
 // Close flushes, waits for the workers, and folds their replicas into
@@ -207,7 +243,7 @@ func (s *AnalyzerSet) NewPipeline(workers int) *Pipeline {
 	}
 	for i := range p.workers {
 		w := &pipeWorker{
-			ch:       make(chan []telemetry.Observation, 4),
+			ch:       make(chan []telemetry.Observation, pipelineChanDepth),
 			done:     make(chan struct{}),
 			replicas: make([]Observer, len(s.regs)),
 		}
@@ -233,16 +269,21 @@ func (p *Pipeline) run(idx int, w *pipeWorker) {
 			}
 		}
 	}()
-	for batch := range w.ch {
-		for _, o := range batch {
-			for j, rep := range w.replicas {
-				if f := p.set.regs[j].filter; f == nil || f(o) {
-					rep.Observe(o)
+	// Label the goroutine so -cpuprofile output attributes analyzer
+	// time to the analyze stage per worker, separate from the decode
+	// pool's decode/decompress time.
+	pprof.Do(context.Background(), pprof.Labels("stage", "analyze", "worker", strconv.Itoa(idx)), func(context.Context) {
+		for batch := range w.ch {
+			for _, o := range batch {
+				for j, rep := range w.replicas {
+					if f := p.set.regs[j].filter; f == nil || f(o) {
+						rep.Observe(o)
+					}
 				}
 			}
+			p.free.Put(&batch)
 		}
-		p.free.Put(&batch)
-	}
+	})
 }
 
 // mix64 is the splitmix64 finalizer: user IDs are often sequential, and
@@ -273,11 +314,32 @@ func (p *Pipeline) Observe(o telemetry.Observation) {
 	p.pending[i] = b
 }
 
-// ObserveBatch routes a slice of observations (the records slice may be
-// reused by the caller afterwards; values are copied out).
+// ObserveBatch routes a slice of observations — typically one decoded
+// block — in one partitioning pass: each record is appended to its
+// worker's pending sub-batch (pooled slices, no per-record flush
+// branch) and every sub-batch that reached the handoff threshold is
+// sent once at the end. The result is at most one routed send per
+// worker per block instead of a length check and potential send per
+// observation, which is what keeps the single-goroutine router off the
+// critical path. The records slice may be reused by the caller
+// afterwards; values are copied out. Interleaves correctly with
+// Observe: both append to the same per-worker pending buffers, so
+// per-user order is preserved.
 func (p *Pipeline) ObserveBatch(recs []telemetry.Observation) {
+	n := uint64(len(p.workers))
 	for _, o := range recs {
-		p.Observe(o)
+		i := int(mix64(o.UserID) % n)
+		b := p.pending[i]
+		if b == nil {
+			b = p.batch()
+		}
+		p.pending[i] = append(b, o)
+	}
+	for i, b := range p.pending {
+		if len(b) >= pipelineBatch {
+			p.workers[i].ch <- b
+			p.pending[i] = nil
+		}
 	}
 }
 

@@ -71,21 +71,34 @@ func pipelineStream() []telemetry.Observation {
 }
 
 // fullSet registers one of every analyzer on a fresh AnalyzerSet and
-// returns the primaries for querying.
+// returns the primaries for querying. Every default analyzer's
+// accumulated state is a pure order-free fold (set union, min-day,
+// OR/sum), so the whole set registers commutative — which is what
+// authorizes the unordered and fused analysis paths.
 func fullSet(ref simtime.Day) (*AnalyzerSet, *UserCentric, *IPCentric, *ChurnAttribution, *Lifespans, *Prevalence) {
 	set := NewAnalyzerSet()
 	uc := NewUserCentricFor(false)
-	AddAnalyzer(set, uc, func() *UserCentric { return NewUserCentricFor(false) }, (*UserCentric).Merge)
+	AddCommutativeAnalyzer(set, uc, func() *UserCentric { return NewUserCentricFor(false) }, (*UserCentric).Merge)
 	ic := NewIPCentric(netaddr.IPv6, 64)
-	AddAnalyzer(set, ic, func() *IPCentric { return NewIPCentric(netaddr.IPv6, 64) }, (*IPCentric).Merge)
+	AddCommutativeAnalyzer(set, ic, func() *IPCentric { return NewIPCentric(netaddr.IPv6, 64) }, (*IPCentric).Merge)
 	churn := NewChurnAttribution(2)
-	AddAnalyzer(set, churn, func() *ChurnAttribution { return NewChurnAttribution(2) }, (*ChurnAttribution).Merge)
+	AddCommutativeAnalyzer(set, churn, func() *ChurnAttribution { return NewChurnAttribution(2) }, (*ChurnAttribution).Merge)
 	life := NewLifespans(ref, 64, 128, 32)
-	AddAnalyzer(set, life, func() *Lifespans { return NewLifespans(ref, 64, 128, 32) }, (*Lifespans).Merge)
+	AddCommutativeAnalyzer(set, life, func() *Lifespans { return NewLifespans(ref, 64, 128, 32) }, (*Lifespans).Merge)
 	prev := NewPrevalence()
-	AddAnalyzerFiltered(set, prev, NewPrevalence, (*Prevalence).Merge,
+	AddCommutativeAnalyzerFiltered(set, prev, NewPrevalence, (*Prevalence).Merge,
 		func(o telemetry.Observation) bool { return !o.Abusive })
 	return set, uc, ic, churn, life, prev
+}
+
+// TestFullSetCommutative pins the headline property: the default
+// analyzer set reports Commutative() == true, so unordered and fused
+// analysis are legal for it.
+func TestFullSetCommutative(t *testing.T) {
+	set, _, _, _, _, _ := fullSet(7)
+	if !set.Commutative() {
+		t.Fatalf("default analyzer set must be commutative; offenders: %v", set.NonCommutative())
+	}
 }
 
 // TestPipelineMatchesSequential is the core equality guarantee: for

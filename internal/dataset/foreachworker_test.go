@@ -1,0 +1,291 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"userv6/internal/telemetry"
+)
+
+// readFused drains a dataset through ForEachWorker, returning the
+// concatenated per-worker record copies. Each worker appends to its own
+// slice with no locking — exactly the access pattern the fused analyze
+// path relies on — so running this under -race doubles as the proof
+// that a callback is never invoked from two goroutines.
+func readFused(t *testing.T, path string, opts ParallelOptions) []telemetry.Observation {
+	t.Helper()
+	pr, err := OpenParallel(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	perWorker := make([][]telemetry.Observation, pr.Workers())
+	err = pr.ForEachWorker(context.Background(), func(w int) func(Batch) error {
+		return func(b Batch) error {
+			perWorker[w] = append(perWorker[w], b.Recs...) // value copies
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []telemetry.Observation
+	for _, recs := range perWorker {
+		out = append(out, recs...)
+	}
+	return out
+}
+
+func TestForEachWorkerMultisetEqual(t *testing.T) {
+	in := sample(5000)
+	path := writeDataset(t, in)
+	want := readSequential(t, path)
+	sortObs(want)
+	for _, workers := range []int{1, 4} {
+		got := readFused(t, path, ParallelOptions{Workers: workers})
+		sortObs(got)
+		sameRecords(t, got, want)
+	}
+}
+
+// The factory must run serially, worker 0 first, before any worker
+// goroutine starts — the guarantee that lets callers build shared
+// state (e.g. a replica slice) without locks.
+func TestForEachWorkerSerialFactories(t *testing.T) {
+	path := writeDataset(t, sample(3000))
+	pr, err := OpenParallel(path, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+
+	var (
+		mu        sync.Mutex
+		order     []int
+		delivered bool
+	)
+	err = pr.ForEachWorker(context.Background(), func(w int) func(Batch) error {
+		// No lock here on purpose: factories are specified to run
+		// serially, so -race must not flag this append.
+		if delivered {
+			t.Error("factory ran after a batch was delivered")
+		}
+		order = append(order, w)
+		return func(Batch) error {
+			mu.Lock()
+			delivered = true
+			mu.Unlock()
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("factory ran %d times, want 4", len(order))
+	}
+	for w, got := range order {
+		if got != w {
+			t.Fatalf("factory order %v, want worker indexes in order", order)
+		}
+	}
+}
+
+func TestForEachWorkerTolerantMatchesSalvage(t *testing.T) {
+	path := writeDataset(t, sample(5000))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+4+(16+1024*40)+16+99] ^= 0x80 // corrupt block 1
+	bad := filepath.Join(t.TempDir(), "bad.uv6")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var want []telemetry.Observation
+	wantRep, err := Salvage(bad, func(o telemetry.Observation) { want = append(want, o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pr, err := OpenParallel(bad, ParallelOptions{Workers: 4, Tolerant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	perWorker := make([][]telemetry.Observation, pr.Workers())
+	err = pr.ForEachWorker(context.Background(), func(w int) func(Batch) error {
+		return func(b Batch) error {
+			perWorker[w] = append(perWorker[w], b.Recs...)
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := pr.Coverage()
+	if !ok {
+		t.Fatal("no coverage after tolerant fused read")
+	}
+	if !rep.Equal(wantRep.Stream) {
+		t.Fatalf("coverage differs:\n   fused: %+v\n salvage: %+v", rep, wantRep.Stream)
+	}
+	var got []telemetry.Observation
+	for _, recs := range perWorker {
+		got = append(got, recs...)
+	}
+	sortObs(got)
+	sortObs(want)
+	sameRecords(t, got, want)
+}
+
+// A corrupt block in strict fused mode fails the read like the
+// sequential reader does (the fused path has no ordered delivery, so
+// no prefix guarantee — only the error contract).
+func TestForEachWorkerStrictCorruptBlock(t *testing.T) {
+	path := writeDataset(t, sample(5000))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+4+2*(16+1024*40)+16+200] ^= 0x01
+	bad := filepath.Join(t.TempDir(), "bad.uv6")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, err := OpenParallel(bad, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	err = pr.ForEachWorker(context.Background(), func(int) func(Batch) error {
+		return func(Batch) error { return nil }
+	})
+	if !errors.Is(err, telemetry.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestForEachWorkerCallbackError(t *testing.T) {
+	path := writeDataset(t, sample(5000))
+	boom := errors.New("boom")
+	pr, err := OpenParallel(path, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	err = pr.ForEachWorker(context.Background(), func(w int) func(Batch) error {
+		return func(b Batch) error {
+			if b.Index == 2 {
+				return boom
+			}
+			return nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want callback error, got %v", err)
+	}
+}
+
+// A panicking callback must surface as a typed *WorkerPanicError naming
+// the worker, not crash the process or deadlock the pool.
+func TestForEachWorkerPanic(t *testing.T) {
+	for _, tolerant := range []bool{false, true} {
+		pr, err := OpenParallel(writeDataset(t, sample(5000)), ParallelOptions{Workers: 4, Tolerant: tolerant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = pr.ForEachWorker(context.Background(), func(w int) func(Batch) error {
+			return func(b Batch) error {
+				if b.Index >= 1 {
+					panic("kaboom")
+				}
+				return nil
+			}
+		})
+		pr.Close()
+		var pe *WorkerPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("tolerant=%v: want *WorkerPanicError, got %v", tolerant, err)
+		}
+		if pe.Value != "kaboom" || pe.Worker < 0 || pe.Worker >= 4 {
+			t.Fatalf("tolerant=%v: panic error %+v", tolerant, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("tolerant=%v: panic error carries no stack", tolerant)
+		}
+		if _, ok := pr.Coverage(); ok && !tolerant {
+			t.Fatal("strict read reported coverage")
+		}
+	}
+}
+
+func TestForEachWorkerSingleUse(t *testing.T) {
+	pr, err := OpenParallel(writeDataset(t, sample(100)), ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	noop := func(int) func(Batch) error { return func(Batch) error { return nil } }
+	if err := pr.ForEachWorker(context.Background(), noop); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.ForEachWorker(context.Background(), noop); err == nil {
+		t.Fatal("second consume must fail")
+	}
+	if err := pr.ForEachBatch(context.Background(), func(Batch) error { return nil }); err == nil {
+		t.Fatal("ForEachBatch after ForEachWorker must fail")
+	}
+}
+
+func TestForEachWorkerContextCancel(t *testing.T) {
+	pr, err := OpenParallel(writeDataset(t, sample(5000)), ParallelOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	err = pr.ForEachWorker(ctx, func(int) func(Batch) error {
+		return func(Batch) error {
+			cancel() // fire mid-read
+			return nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// A raw (headerless) stream reads through the fused path too.
+func TestForEachWorkerRawStream(t *testing.T) {
+	in := sample(2500)
+	path := filepath.Join(t.TempDir(), "raw.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := telemetry.NewWriterV2(f)
+	for _, o := range in {
+		if err := w.Write(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := readFused(t, path, ParallelOptions{Workers: 4})
+	sortObs(got)
+	want := append([]telemetry.Observation(nil), in...)
+	sortObs(want)
+	sameRecords(t, got, want)
+}

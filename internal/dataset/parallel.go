@@ -18,6 +18,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"userv6/internal/telemetry"
@@ -110,6 +113,11 @@ func OpenParallel(path string, opts ParallelOptions) (*ParallelReader, error) {
 // Meta returns the dataset metadata (zero for raw streams).
 func (pr *ParallelReader) Meta() Meta { return pr.meta }
 
+// Workers returns the normalized decode-pool size (the Workers option,
+// with <= 0 resolved to GOMAXPROCS at open time). ForEachWorker calls
+// its factory exactly this many times.
+func (pr *ParallelReader) Workers() int { return pr.opts.Workers }
+
 // Raw reports whether the file is a headerless telemetry stream.
 func (pr *ParallelReader) Raw() bool { return pr.raw }
 
@@ -155,6 +163,20 @@ func (pr *ParallelReader) ForEachBatch(ctx context.Context, fn func(Batch) error
 		return pr.runTolerant(ctx, fn)
 	}
 	return pr.runStrict(ctx, fn)
+}
+
+// scanLabeled and workerLabeled attach pprof goroutine labels so CPU
+// and goroutine profiles attribute time by pipeline stage and worker:
+// stage=scan for the frame scanner, stage=decode for pool workers that
+// only decode, stage=decode+analyze for fused ForEachWorker workers.
+func scanLabeled(body func()) {
+	pprof.Do(context.Background(), pprof.Labels("stage", "scan"),
+		func(context.Context) { body() })
+}
+
+func workerLabeled(stage string, w int, body func()) {
+	pprof.Do(context.Background(), pprof.Labels("stage", stage, "worker", strconv.Itoa(w)),
+		func(context.Context) { body() })
 }
 
 // result is one decoded block (or a positioned error) on its way from
@@ -209,7 +231,7 @@ func (pr *ParallelReader) runStrict(ctx context.Context, fn func(Batch) error) e
 	// Scanner: sequential frame I/O. A scan error is assigned the index
 	// the next block would have carried, so ordered delivery emits it
 	// after every block before the damage — like the sequential reader.
-	go func() {
+	go scanLabeled(func() {
 		defer close(jobs)
 		br := telemetry.NewBlockReader(bufio.NewReaderSize(pr.f, 1<<20))
 		idx := 0
@@ -232,7 +254,7 @@ func (pr *ParallelReader) runStrict(ctx context.Context, fn func(Batch) error) e
 				return
 			}
 		}
-	}()
+	})
 
 	// Workers: CRC verify + codec decode; in unordered mode they also
 	// deliver. Each worker keeps its own decompression scratch, so a
@@ -241,31 +263,33 @@ func (pr *ParallelReader) runStrict(ctx context.Context, fn func(Batch) error) e
 	var wg sync.WaitGroup
 	for w := 0; w < pr.opts.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			var scratch []byte
-			for blk := range jobs {
-				recs, sc, err := blk.AppendDecoded(bufs.getRecs(), scratch)
-				scratch = sc
-				bufs.putPayload(blk.Payload)
-				if err == nil && pr.opts.Unordered {
-					err = fn(Batch{Index: blk.Index, Recs: recs})
-					bufs.putRecs(recs)
-					if err == nil {
-						continue
+			workerLabeled("decode", w, func() {
+				var scratch []byte
+				for blk := range jobs {
+					recs, sc, err := blk.AppendDecoded(bufs.getRecs(), scratch)
+					scratch = sc
+					bufs.putPayload(blk.Payload)
+					if err == nil && pr.opts.Unordered {
+						err = fn(Batch{Index: blk.Index, Recs: recs})
+						bufs.putRecs(recs)
+						if err == nil {
+							continue
+						}
+						recs = nil
 					}
-					recs = nil
+					if err != nil {
+						recs = nil
+					}
+					select {
+					case results <- result{idx: blk.Index, recs: recs, err: err}:
+					case <-ctx.Done():
+						return
+					}
 				}
-				if err != nil {
-					recs = nil
-				}
-				select {
-				case results <- result{idx: blk.Index, recs: recs, err: err}:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}()
+			})
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -312,7 +336,7 @@ func (pr *ParallelReader) runTolerant(ctx context.Context, fn func(Batch) error)
 		rep     telemetry.SalvageReport
 		scanErr error
 	)
-	go func() {
+	go scanLabeled(func() {
 		defer close(jobs)
 		idx := 0
 		rep, scanErr = telemetry.SalvageBlocks(data, func(payload []byte, count int) {
@@ -322,31 +346,33 @@ func (pr *ParallelReader) runTolerant(ctx context.Context, fn func(Batch) error)
 			case <-ctx.Done():
 			}
 		})
-	}()
+	})
 
 	var wg sync.WaitGroup
 	for w := 0; w < pr.opts.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for j := range jobs {
-				recs := telemetry.AppendRecords(bufs.getRecs(), j.payload)
-				var err error
-				if pr.opts.Unordered {
-					err = fn(Batch{Index: j.idx, Recs: recs})
-					bufs.putRecs(recs)
-					if err == nil {
-						continue
+			workerLabeled("decode", w, func() {
+				for j := range jobs {
+					recs := telemetry.AppendRecords(bufs.getRecs(), j.payload)
+					var err error
+					if pr.opts.Unordered {
+						err = fn(Batch{Index: j.idx, Recs: recs})
+						bufs.putRecs(recs)
+						if err == nil {
+							continue
+						}
+						recs = nil
 					}
-					recs = nil
+					select {
+					case results <- result{idx: j.idx, recs: recs, err: err}:
+					case <-ctx.Done():
+						return
+					}
 				}
-				select {
-				case results <- result{idx: j.idx, recs: recs, err: err}:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}()
+			})
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -422,4 +448,217 @@ func (pr *ParallelReader) deliver(cancel context.CancelFunc, results <-chan resu
 		}
 	}
 	return firstErr
+}
+
+// WorkerPanicError reports a panic that escaped a ForEachWorker
+// callback (or the decode feeding it). The read returns it as an
+// ordinary error so callers can tell "a worker blew up" from "a block
+// was corrupt"; Stack is the panicking goroutine's stack at recover.
+type WorkerPanicError struct {
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("dataset: ForEachWorker worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// ForEachWorker is the fused consumption mode: newWorker is called
+// serially (worker 0 first, before any goroutine starts) to build one
+// callback per decode worker, and each worker then invokes its own
+// callback inline on every block it decodes — no ordered-delivery
+// heap, no cross-goroutine batch handoff, no router. Batches arrive in
+// arbitrary order and their record slices are recycled as soon as the
+// callback returns. A given callback is only ever invoked from its own
+// worker goroutine, so worker-local state needs no locking, while the
+// serial factory phase may freely touch shared state. The Unordered
+// option is irrelevant here (delivery is inherently unordered);
+// Tolerant selects the salvage scan and fills Coverage on success. The
+// first decode or callback error cancels the read and is returned; a
+// callback panic is recovered and returned as a *WorkerPanicError. The
+// reader is single-use, like ForEachBatch.
+func (pr *ParallelReader) ForEachWorker(ctx context.Context, newWorker func(worker int) func(Batch) error) error {
+	if pr.consumed {
+		return errors.New("dataset: stream already consumed")
+	}
+	pr.consumed = true
+	fns := make([]func(Batch) error, pr.opts.Workers)
+	for w := range fns {
+		fns[w] = newWorker(w)
+	}
+	if pr.opts.Tolerant {
+		return pr.workerTolerant(ctx, fns)
+	}
+	return pr.workerStrict(ctx, fns)
+}
+
+// failFunc returns a first-error-wins recorder: the first failure
+// cancels the pipeline, later ones are dropped. The recorded error is
+// read only after every writer goroutine has been joined.
+func failFunc(cancel context.CancelFunc, firstErr *error) func(error) {
+	var mu sync.Mutex
+	return func(err error) {
+		mu.Lock()
+		if *firstErr == nil {
+			*firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+}
+
+func (pr *ParallelReader) workerStrict(ctx context.Context, fns []func(Batch) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		bufs     pools
+		firstErr error
+	)
+	fail := failFunc(cancel, &firstErr)
+
+	jobs := make(chan telemetry.RawBlock, pr.opts.Workers)
+	go scanLabeled(func() {
+		defer close(jobs)
+		br := telemetry.NewBlockReader(bufio.NewReaderSize(pr.f, 1<<20))
+		for {
+			blk, err := br.Next(bufs.getPayload())
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			select {
+			case jobs <- blk:
+			case <-ctx.Done():
+				return
+			}
+		}
+	})
+
+	var wg sync.WaitGroup
+	for w := range fns {
+		wg.Add(1)
+		go func(w int, fn func(Batch) error) {
+			defer wg.Done()
+			workerLabeled("decode+analyze", w, func() {
+				defer func() {
+					if v := recover(); v != nil {
+						fail(&WorkerPanicError{Worker: w, Value: v, Stack: debug.Stack()})
+						for range jobs {
+							// Drain so the scanner never blocks on a
+							// send this worker would have consumed.
+						}
+					}
+				}()
+				var scratch []byte
+				for blk := range jobs {
+					if ctx.Err() != nil {
+						continue // cancelled: drain without decoding
+					}
+					recs, sc, err := blk.AppendDecoded(bufs.getRecs(), scratch)
+					scratch = sc
+					bufs.putPayload(blk.Payload)
+					if err == nil {
+						err = fn(Batch{Index: blk.Index, Recs: recs})
+					}
+					bufs.putRecs(recs)
+					if err != nil {
+						fail(err)
+					}
+				}
+			})
+		}(w, fns[w])
+	}
+	wg.Wait()
+	// Workers only exit after the scanner closed jobs, so every fail()
+	// happens-before this read.
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+func (pr *ParallelReader) workerTolerant(ctx context.Context, fns []func(Batch) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Buffer the stream like Salvage: resynchronization needs random
+	// access (see runTolerant).
+	data, err := io.ReadAll(bufio.NewReaderSize(pr.f, 1<<20))
+	if err != nil {
+		return fmt.Errorf("dataset: salvage read: %w", err)
+	}
+
+	var (
+		bufs     pools
+		firstErr error
+	)
+	fail := failFunc(cancel, &firstErr)
+
+	type job struct {
+		idx     int
+		payload []byte
+	}
+	jobs := make(chan job, pr.opts.Workers)
+	var (
+		rep     telemetry.SalvageReport
+		scanErr error
+	)
+	go scanLabeled(func() {
+		defer close(jobs)
+		idx := 0
+		rep, scanErr = telemetry.SalvageBlocks(data, func(payload []byte, count int) {
+			select {
+			case jobs <- job{idx: idx, payload: payload}:
+				idx++
+			case <-ctx.Done():
+			}
+		})
+	})
+
+	var wg sync.WaitGroup
+	for w := range fns {
+		wg.Add(1)
+		go func(w int, fn func(Batch) error) {
+			defer wg.Done()
+			workerLabeled("decode+analyze", w, func() {
+				defer func() {
+					if v := recover(); v != nil {
+						fail(&WorkerPanicError{Worker: w, Value: v, Stack: debug.Stack()})
+						for range jobs {
+						}
+					}
+				}()
+				for j := range jobs {
+					if ctx.Err() != nil {
+						continue
+					}
+					recs := telemetry.AppendRecords(bufs.getRecs(), j.payload)
+					err := fn(Batch{Index: j.idx, Recs: recs})
+					bufs.putRecs(recs)
+					if err != nil {
+						fail(err)
+					}
+				}
+			})
+		}(w, fns[w])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// rep/scanErr were assigned before the scanner's deferred
+	// close(jobs), which happens-before every worker's exit.
+	if scanErr != nil {
+		return scanErr
+	}
+	pr.coverage, pr.covered = rep, true
+	return nil
 }

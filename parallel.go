@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"userv6/internal/core"
 	"userv6/internal/dataset"
@@ -177,8 +178,8 @@ func (s *Sim) GenerateParallel(from, to simtime.Day, shards int, newConsumer fun
 // user range — feeds a private replica of every registered analyzer, so
 // no analyzer state crosses goroutines; the replicas fold into the
 // set's primaries when every shard completes. User-disjoint sharding
-// makes the fold exact for every analyzer, including the
-// order-dependent churn attribution. The benign stream runs sharded;
+// makes the fold exact for every analyzer, even ones that withhold the
+// commutative declaration. The benign stream runs sharded;
 // abusive telemetry (when includeAbusive is set) streams serially into
 // the folded primaries afterwards, mirroring Generate's ordering. On
 // error — cancellation or a *ShardPanicError — the set's primaries are
@@ -236,6 +237,111 @@ func (s *Sim) AnalyzeDatasetParallel(ctx context.Context, path string, workers i
 		return rep, nil
 	}
 	return telemetry.SalvageReport{Version: 2, Blocks: blocks, Records: records}, nil
+}
+
+// AnalyzeDatasetFused replays a dataset file through an AnalyzerSet on
+// the fused fast path: each decode worker owns a private Replica of
+// every registered analyzer and feeds it directly from the block it
+// just decoded — no ordered-delivery heap, no hash router, no
+// cross-goroutine record handoff at all. The replicas fold into the
+// set's primaries once, when the whole stream has been consumed; on
+// error (including a recovered worker panic, surfaced as a
+// *dataset.WorkerPanicError) the primaries are left unfolded. The path
+// is exact only when every registered analyzer declared a commutative
+// Merge, so a set that does not report Commutative() falls back to
+// AnalyzeDatasetParallel, whose hash routing preserves per-user order.
+// tolerant selects the salvage read; the returned report then covers
+// what the results describe, otherwise the intact stream.
+func (s *Sim) AnalyzeDatasetFused(ctx context.Context, path string, workers int, set *core.AnalyzerSet, tolerant bool) (telemetry.SalvageReport, error) {
+	if !set.Commutative() {
+		return s.AnalyzeDatasetParallel(ctx, path, workers, set, tolerant)
+	}
+	pr, err := dataset.OpenParallel(path, dataset.ParallelOptions{Workers: workers, Tolerant: tolerant})
+	if err != nil {
+		return telemetry.SalvageReport{}, err
+	}
+	defer pr.Close()
+
+	n := pr.Workers()
+	replicas := make([]*core.Replica, n)
+	records := make([]uint64, n)
+	blocks := make([]int, n)
+	// The factory runs serially before any worker starts (ForEachWorker's
+	// contract), so the replicas slice needs no lock; each callback then
+	// touches only its own index.
+	err = pr.ForEachWorker(ctx, func(w int) func(dataset.Batch) error {
+		r := set.NewReplica()
+		replicas[w] = r
+		return func(b dataset.Batch) error {
+			for _, o := range b.Recs {
+				r.Observe(o)
+			}
+			records[w] += uint64(len(b.Recs))
+			blocks[w]++
+			return nil
+		}
+	})
+	if err != nil {
+		return telemetry.SalvageReport{}, err
+	}
+	set.Fold(replicas...)
+	if rep, ok := pr.Coverage(); ok {
+		return rep, nil
+	}
+	rep := telemetry.SalvageReport{Version: 2}
+	for w := 0; w < n; w++ {
+		rep.Blocks += blocks[w]
+		rep.Records += records[w]
+	}
+	return rep, nil
+}
+
+// AnalyzeDatasetUnordered replays a dataset file with completion-order
+// batch delivery: the parallel reader's workers invoke the callback
+// concurrently as blocks finish decoding, and a channel of analyzer
+// replicas serves as the consumption pool. Unlike the fused path the
+// batch still crosses a goroutine boundary conceptually (any replica
+// may consume any block), which is exactly the property the
+// commutativity requirement covers — so instead of falling back, a
+// non-commutative set is an error naming the offending registrations.
+// The set's primaries are only folded on success.
+func (s *Sim) AnalyzeDatasetUnordered(ctx context.Context, path string, workers int, set *core.AnalyzerSet, tolerant bool) (telemetry.SalvageReport, error) {
+	if names := set.NonCommutative(); len(names) > 0 {
+		return telemetry.SalvageReport{}, fmt.Errorf(
+			"userv6: unordered analysis requires every analyzer to declare a commutative Merge; non-commutative: %v", names)
+	}
+	pr, err := dataset.OpenParallel(path, dataset.ParallelOptions{Workers: workers, Tolerant: tolerant, Unordered: true})
+	if err != nil {
+		return telemetry.SalvageReport{}, err
+	}
+	defer pr.Close()
+
+	n := pr.Workers()
+	replicas := make([]*core.Replica, n)
+	pool := make(chan *core.Replica, n)
+	for i := range replicas {
+		replicas[i] = set.NewReplica()
+		pool <- replicas[i]
+	}
+	var records uint64
+	var blocks int64
+	if err := pr.ForEachBatch(ctx, func(b dataset.Batch) error {
+		r := <-pool
+		for _, o := range b.Recs {
+			r.Observe(o)
+		}
+		pool <- r
+		atomic.AddUint64(&records, uint64(len(b.Recs)))
+		atomic.AddInt64(&blocks, 1)
+		return nil
+	}); err != nil {
+		return telemetry.SalvageReport{}, err
+	}
+	set.Fold(replicas...)
+	if rep, ok := pr.Coverage(); ok {
+		return rep, nil
+	}
+	return telemetry.SalvageReport{Version: 2, Blocks: int(blocks), Records: records}, nil
 }
 
 // Fig2Parallel computes the Figure 2 histograms using sharded
