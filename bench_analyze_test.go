@@ -109,3 +109,56 @@ func BenchmarkAnalyzeUnordered(b *testing.B) {
 		}
 	}
 }
+
+// writeBenchShardedExport writes the benchmark week as a 4-shard export
+// and returns its directory.
+func writeBenchShardedExport(b *testing.B) string {
+	b.Helper()
+	sim := getBenchSim()
+	from, to := AnalysisWeek()
+	dir := b.TempDir()
+	meta := dataset.Meta{Seed: 1, Users: benchUsers, FromDay: int(from), ToDay: int(to), Sample: "all"}
+	if _, err := sim.ExportShardedCtx(context.Background(), dir, 4, meta, nil); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkAnalyzeManifest analyzes a sharded export in place: strict
+// per-part checksum gate, then the fused engine fanned out part by
+// part — the path that replaces merge-then-analyze.
+func BenchmarkAnalyzeManifest(b *testing.B) {
+	dir := writeBenchShardedExport(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := dataset.OpenManifestSource(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := newAnalyzeSet()
+		if _, err := AnalyzeSource(context.Background(), src, s.set, AnalyzeOptions{Workers: benchAnalyzeWorkers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeMergeAnalyze is the round-trip BenchmarkAnalyzeManifest
+// must beat: strict merge of the same export to a scratch file, then the
+// fused engine over the merged output.
+func BenchmarkAnalyzeMergeAnalyze(b *testing.B) {
+	dir := writeBenchShardedExport(b)
+	sim := getBenchSim()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged := filepath.Join(b.TempDir(), "merged.uv6")
+		if _, _, err := dataset.MergeManifest(merged, filepath.Join(dir, dataset.ManifestName), &dataset.MergeOptions{Strict: true}); err != nil {
+			b.Fatal(err)
+		}
+		s := newAnalyzeSet()
+		if _, err := sim.AnalyzeDatasetFused(context.Background(), merged, benchAnalyzeWorkers, s.set, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

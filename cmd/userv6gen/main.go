@@ -10,8 +10,10 @@
 //	userv6gen gen  -resume -o week.uv6                           (continue a partial run)
 //	userv6gen gen  -resume -o weekdir                            (continue a sharded run)
 //	userv6gen info -i week.uv6
-//	userv6gen analyze -i week.uv6 [-tolerant]
+//	userv6gen analyze -i week.uv6 [-tolerant] [-explain]
+//	userv6gen analyze -i weekdir                                 (sharded export, no merge)
 //	userv6gen verify -i week.uv6
+//	userv6gen verify -i weekdir/manifest.uv6m                    (all parts + codec mix)
 //	userv6gen salvage -i torn.uv6.tmp -o recovered.uv6
 //	userv6gen merge -manifest weekdir/manifest.uv6m -o week.uv6
 //	userv6gen merge -o week.uv6 part-0000.uv6 part-0001.uv6 ...
@@ -94,7 +96,9 @@ func usage() {
                       -compress means lz)
            -faults S  arm fault-injection failpoints (debug; docs/FAULT_INJECTION.md)
   info     summarize a dataset file
-  analyze  run the user/IP-centric + churn analyzers over a dataset file
+  analyze  run the user/IP-centric + churn analyzers over a dataset file,
+           a sharded export directory, or a manifest.uv6m (no merge needed:
+           parts stream through the same workers the merged file would)
            -tolerant  salvage-path read: skip corrupt blocks, report coverage
            -workers N block-parallel decode + analysis (0 = all CPUs, 1 = sequential);
                       the default analyzer set is commutative, so parallel runs
@@ -103,7 +107,10 @@ func usage() {
            -unordered completion-order batch delivery into a replica pool
                       (errors if any analyzer withholds the commutative
                       declaration, naming the offender)
-  verify   check dataset integrity (block checksums, record counts)
+           -explain   print the planner's chosen mode and rationale
+  verify   check dataset integrity (block checksums, record counts); on a
+           manifest or export directory, checks every part and aggregates
+           per-codec block counts across parts
   salvage  recover intact records from a damaged dataset into a new file
   merge    fold sharded part files into one canonical dataset
            -tolerant  admit parts whose frame codecs disagree with their label`)
@@ -241,8 +248,8 @@ func runGen(args []string) {
 		}
 		fmt.Printf("wrote sharded dataset (%d users, days %d-%d) to %s: %d parts, %d records, %d blocks (config %s)\n",
 			*users, *from, *to, *out, len(man.Parts), man.TotalRecords(), man.TotalBlocks(), man.ConfigHash)
-		fmt.Printf("merge with: userv6gen merge -manifest %s -o merged.uv6\n",
-			filepath.Join(*out, dataset.ManifestName))
+		fmt.Printf("analyze directly with: userv6gen analyze -i %s (or merge: userv6gen merge -manifest %s -o merged.uv6)\n",
+			*out, filepath.Join(*out, dataset.ManifestName))
 		return
 	}
 
@@ -469,7 +476,7 @@ func runGenShardedResume(ctx context.Context, fsys faultio.FS, dir string) {
 	}
 	fmt.Printf("resumed sharded dataset (%d users, days %d-%d) in %s: %d parts, %d records, %d blocks (config %s)\n",
 		meta.Users, meta.FromDay, meta.ToDay, dir, len(man.Parts), man.TotalRecords(), man.TotalBlocks(), man.ConfigHash)
-	fmt.Printf("merge with: userv6gen merge -manifest %s -o merged.uv6\n", manPath)
+	fmt.Printf("analyze directly with: userv6gen analyze -i %s (or merge: userv6gen merge -manifest %s -o merged.uv6)\n", dir, manPath)
 }
 
 // runMerge folds N part files — a sharded export's manifest, or an
@@ -566,9 +573,17 @@ func printMergeReport(rep dataset.MergeReport) {
 // salvage pass would recover).
 func runVerify(args []string) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	in := fs.String("i", "telemetry.uv6", "input path (dataset or binary stream)")
+	in := fs.String("i", "telemetry.uv6", "input path (dataset file, sharded export directory, or manifest.uv6m)")
 	fs.Parse(args)
 	inputArg(fs, in)
+
+	// A directory or manifest path verifies the whole sharded export:
+	// per-part rows plus codec-mix and coverage aggregated across parts.
+	if fi, err := os.Stat(*in); (err == nil && fi.IsDir()) ||
+		strings.HasSuffix(*in, ".uv6m") || filepath.Base(*in) == dataset.ManifestName {
+		runVerifyManifest(*in)
+		return
+	}
 
 	rep, err := dataset.Scan(*in)
 	if err != nil {
@@ -578,6 +593,81 @@ func runVerify(args []string) {
 	if !rep.Intact() {
 		os.Exit(1)
 	}
+}
+
+// runVerifyManifest checks every part of a sharded export against the
+// manifest: per-part block checksums, whole-file CRC32C, and declared
+// codec, then the aggregate view — total coverage and the per-codec
+// block counts summed across parts (SalvageReport.Add), which is what
+// a compression-policy regression in one shard shows up in.
+func runVerifyManifest(path string) {
+	src, err := dataset.OpenManifestSource(path)
+	if err != nil {
+		fatal(err)
+	}
+	man := src.Manifest()
+	fmt.Printf("manifest: seed=%d shards=%d parts=%d config=%s expected %d records in %d blocks\n\n",
+		man.Seed, man.Shards, len(man.Parts), man.ConfigHash, man.TotalRecords(), man.TotalBlocks())
+
+	t := report.NewTable("part", "blocks", "records", "corrupt", "checksum", "codec")
+	var agg telemetry.SalvageReport
+	intact := true
+	for i, p := range src.Parts() {
+		want, _ := src.Expected(i)
+		rep, err := dataset.Scan(p)
+		if err != nil {
+			fatal(err)
+		}
+		sum := "ok"
+		if want.CRC32C != "" {
+			if got, err := dataset.FileCRC32C(p); err != nil || got != want.CRC32C {
+				sum, intact = "MISMATCH", false
+			}
+		}
+		codec := "ok"
+		if err := dataset.CheckPartCodecs(want.Codec, rep.Stream.Codecs); err != nil {
+			codec, intact = "MISMATCH", false
+		}
+		if !rep.Intact() {
+			intact = false
+		}
+		t.Row(want.Name,
+			fmt.Sprintf("%d/%d", rep.Stream.Blocks, want.Blocks),
+			rep.Stream.Records, rep.Stream.CorruptBlocks, sum, codec)
+		agg.Add(rep.Stream)
+	}
+	t.Write(os.Stdout)
+
+	fmt.Printf("\ntotal: %d intact blocks, %d records, %d corrupt blocks, %d bytes skipped\n",
+		agg.Blocks, agg.Records, agg.CorruptBlocks, agg.SkippedBytes)
+	if line := codecBlocksLine(agg.CodecBlocks); line != "" {
+		fmt.Printf("block codecs across parts: %s\n", line)
+	}
+	verdict := "INTACT"
+	if !intact {
+		verdict = "DAMAGED (merge -tolerant or analyze -tolerant still use the intact blocks)"
+	}
+	fmt.Printf("verdict: %s\n", verdict)
+	if !intact {
+		os.Exit(1)
+	}
+}
+
+// codecBlocksLine renders per-codec intact-block counts ("identity: 3,
+// lz: 12") in stable codec-ID order; empty when the stream is v1 or has
+// no intact blocks.
+func codecBlocksLine(counts map[telemetry.CodecID]uint64) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	var parts []string
+	for id := 0; id < 32; id++ {
+		cid := telemetry.CodecID(id)
+		if n, ok := counts[cid]; ok {
+			parts = append(parts, fmt.Sprintf("%s: %d", cid, n))
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 func printScanReport(rep dataset.ScanReport) {
@@ -615,15 +705,8 @@ func printScanReport(rep dataset.ScanReport) {
 		// fallback-chain writer the mix (how often the preferred codec
 		// actually won) is what a compression-ratio regression shows up
 		// in, and it is diagnosable from the dataset alone.
-		if len(rep.Stream.CodecBlocks) > 0 {
-			var parts []string
-			for id := 0; id < 32; id++ {
-				cid := telemetry.CodecID(id)
-				if n, ok := rep.Stream.CodecBlocks[cid]; ok {
-					parts = append(parts, fmt.Sprintf("%s: %d", cid, n))
-				}
-			}
-			t.Row("block codecs", strings.Join(parts, ", "))
+		if line := codecBlocksLine(rep.Stream.CodecBlocks); line != "" {
+			t.Row("block codecs", line)
 		}
 	}
 	verdict := "INTACT"
@@ -731,22 +814,32 @@ func runInfo(args []string) {
 
 func runAnalyze(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	in := fs.String("i", "telemetry.uv6", "input path (binary format)")
-	tolerant := fs.Bool("tolerant", false, "salvage-path read: analyze intact blocks of a damaged file and report coverage")
+	in := fs.String("i", "telemetry.uv6", "input path (dataset file, sharded export directory, or manifest.uv6m)")
+	tolerant := fs.Bool("tolerant", false, "salvage-path read: analyze intact blocks of a damaged source and report coverage")
 	workers := fs.Int("workers", 0, "block decode + analysis workers (0 = all CPUs, 1 = sequential)")
 	unordered := fs.Bool("unordered", false, "deliver blocks in completion order (requires commutative analyzers and -workers != 1)")
+	explain := fs.Bool("explain", false, "print the planner's chosen execution mode and why before analyzing")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this path")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this path after analysis")
 	fs.Parse(args)
 	inputArg(fs, in)
 
+	// The input may be a merged file, a sharded export directory, or a
+	// manifest path; the source layer resolves the shape and the
+	// planner picks the execution mode from it — `analyze` itself no
+	// longer re-implements the fused/unordered/pipeline decision.
+	src, err := dataset.OpenSource(*in)
+	if err != nil {
+		fatal(err)
+	}
+
 	// Every analyzer this command registers — including churn, since its
 	// first-sight-tuple reformulation — folds exactly under arbitrary
 	// stream partition, so the whole set declares commutative
-	// accumulation. That legalizes both the fused default below (decode
-	// workers feeding worker-local replicas) and -unordered delivery; an
-	// order-sensitive analyzer would register with AddAnalyzer and the
-	// NonCommutative() check would name it in the refusal.
+	// accumulation. That legalizes the fused default and -unordered
+	// delivery; an order-sensitive analyzer would register with
+	// AddAnalyzer and the planner would name it when refusing (or when
+	// falling back to the pipeline).
 	set := core.NewAnalyzerSet()
 	uc := core.NewUserCentricFor(false)
 	core.AddCommutativeAnalyzer(set, uc,
@@ -764,29 +857,48 @@ func runAnalyze(args []string) {
 	// recorded day only builds history (every address is trivially "new"
 	// then). A headerless raw stream has no window metadata, so it gets
 	// no warmup and day-0 sightings count.
-	countFrom := churnCountFrom(*in)
+	meta, haveMeta := src.Meta()
+	countFrom := simtime.Day(0)
+	if haveMeta && meta.ToDay > meta.FromDay {
+		countFrom = simtime.Day(meta.FromDay + 1)
+	}
 	churn := core.NewChurnAttribution(countFrom)
 	core.AddCommutativeAnalyzer(set, churn,
 		func() *core.ChurnAttribution { return core.NewChurnAttribution(countFrom) }, (*core.ChurnAttribution).Merge)
 
+	req := core.RequestAuto
 	if *unordered {
-		if *workers == 1 {
-			fatal(fmt.Errorf("analyze: -unordered needs the parallel reader; use -workers 0 or > 1"))
-		}
-		if names := set.NonCommutative(); len(names) > 0 {
-			fatal(fmt.Errorf("analyze: -unordered requires every analyzer to declare a commutative Merge; non-commutative: %s",
-				strings.Join(names, ", ")))
-		}
+		req = core.RequestUnordered
+	}
+	opts := userv6.AnalyzeOptions{Workers: *workers, Tolerant: *tolerant, Mode: req}
+	plan, err := userv6.PlanSource(src, set, opts)
+	if err != nil {
+		fatal(fmt.Errorf("analyze: %w", err))
+	}
+	if *explain {
+		fmt.Printf("plan: %s\n", plan.Explain())
+	}
+	if haveMeta {
+		fmt.Printf("%s\n\n", metaLine(meta))
 	}
 
+	// A SIGINT/SIGTERM cancels the read at the next block boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	stopProf := startCPUProfile(*cpuprofile)
-	if *workers == 1 {
-		analyzeSequential(*in, *tolerant, set)
-	} else {
-		analyzeParallel(*in, *tolerant, *unordered, *workers, set)
-	}
+	rep, err := userv6.ExecutePlan(ctx, src, set, plan)
 	stopProf()
 	writeMemProfile(*memprofile)
+	if err != nil {
+		if !*tolerant {
+			err = fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err)
+		}
+		fatal(err)
+	}
+	if *tolerant {
+		printCoverage(rep)
+	}
 
 	h4, h6 := uc.AddrsPerUser(netaddr.IPv4), uc.AddrsPerUser(netaddr.IPv6)
 	report.NewTable("metric", "IPv4", "IPv6").
@@ -807,149 +919,6 @@ func runAnalyze(args []string) {
 		report.Percent(bd.Share(core.IIDRotation)),
 		report.Percent(bd.Share(core.SubnetMove)),
 		report.Percent(bd.Share(core.NetworkSwitch)))
-}
-
-// churnCountFrom peeks at the dataset header to place churn's warmup
-// boundary one day past the window start. Raw streams (or unreadable
-// headers — the tolerant path diagnoses those properly later) count
-// from day zero.
-func churnCountFrom(path string) simtime.Day {
-	r, err := dataset.Open(path)
-	if err != nil {
-		return 0
-	}
-	defer r.Close()
-	if m := r.Meta(); m.ToDay > m.FromDay {
-		return simtime.Day(m.FromDay + 1)
-	}
-	return 0
-}
-
-// analyzeSequential is the -workers 1 path: the original single-thread
-// read, kept as the reference the parallel pipeline must match.
-func analyzeSequential(in string, tolerant bool, set *core.AnalyzerSet) {
-	if tolerant {
-		// Mirror of the hitlist pipelines on partially aliased input:
-		// analyze every block that verifies, skip the damage, and say
-		// how much of the file the results describe.
-		rep, err := dataset.Salvage(in, set.Emit())
-		if err != nil {
-			fatal(err)
-		}
-		if rep.StreamErr != "" {
-			fatal(fmt.Errorf("analyze -tolerant: %s", rep.StreamErr))
-		}
-		if rep.HeaderOK && rep.HeaderErr == "" {
-			fmt.Printf("%s\n\n", metaLine(rep.Meta))
-		}
-		printCoverage(rep.Stream)
-		return
-	}
-	r := openReader(in)
-	if err := r.ForEach(set.Emit()); err != nil {
-		fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
-	}
-}
-
-// analyzeParallel reads the dataset through the block-parallel decode
-// pool. The default for a commutative set is the fused path: the decode
-// workers are the analyzer workers, each feeding a worker-local replica
-// straight from the block it just decoded — no reorder buffer, no hash
-// router, no cross-goroutine record handoff. With -unordered, batches
-// are instead delivered concurrently in completion order and each lands
-// on whichever analyzer replica is free. A set with any non-commutative
-// registration keeps the ordered, hash-routed pipeline, which preserves
-// per-user stream order. All three produce identical analyzer state for
-// commutative sets.
-func analyzeParallel(in string, tolerant, unordered bool, workers int, set *core.AnalyzerSet) {
-	pr, err := dataset.OpenParallel(in, dataset.ParallelOptions{
-		Workers: workers, Tolerant: tolerant, Unordered: unordered,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	defer pr.Close()
-	if !pr.Raw() {
-		fmt.Printf("%s\n\n", metaLine(pr.Meta()))
-	}
-
-	switch {
-	case unordered:
-		analyzeUnordered(pr, workers, set)
-	case set.Commutative():
-		analyzeFused(pr, set)
-	default:
-		pipe := set.NewPipeline(workers)
-		err = pr.ForEachBatch(context.Background(), func(b dataset.Batch) error {
-			pipe.ObserveBatch(b.Recs)
-			return nil
-		})
-		if err != nil {
-			pipe.Close()
-			fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
-		}
-		if err := pipe.Close(); err != nil {
-			fatal(err)
-		}
-	}
-	if rep, ok := pr.Coverage(); ok {
-		printCoverage(rep)
-	}
-}
-
-// analyzeFused is the default parallel mode for commutative sets: one
-// analyzer replica per decode worker, fed inline by that worker, folded
-// once when the stream drains. The factory below runs serially before
-// any decode starts (ForEachWorker's contract), so the replicas slice
-// needs no locking.
-func analyzeFused(pr *dataset.ParallelReader, set *core.AnalyzerSet) {
-	replicas := make([]*core.Replica, pr.Workers())
-	err := pr.ForEachWorker(context.Background(), func(w int) func(dataset.Batch) error {
-		r := set.NewReplica()
-		replicas[w] = r
-		return func(b dataset.Batch) error {
-			for _, o := range b.Recs {
-				r.Observe(o)
-			}
-			return nil
-		}
-	})
-	if err != nil {
-		fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
-	}
-	set.Fold(replicas...)
-}
-
-// analyzeUnordered consumes completion-order batches. The parallel
-// reader invokes the callback concurrently from its worker goroutines,
-// so a channel of analyzer replicas serves as the pool: each batch
-// checks one out, observes into it, and returns it. The channel
-// handoff is the only synchronization replicas need, and the final
-// Fold merges them — exact for commutative analyzers under any
-// partition of the stream.
-func analyzeUnordered(pr *dataset.ParallelReader, workers int, set *core.AnalyzerSet) {
-	n := workers
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	replicas := make([]*core.Replica, n)
-	pool := make(chan *core.Replica, n)
-	for i := range replicas {
-		replicas[i] = set.NewReplica()
-		pool <- replicas[i]
-	}
-	err := pr.ForEachBatch(context.Background(), func(b dataset.Batch) error {
-		r := <-pool
-		for _, o := range b.Recs {
-			r.Observe(o)
-		}
-		pool <- r
-		return nil
-	})
-	if err != nil {
-		fatal(fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err))
-	}
-	set.Fold(replicas...)
 }
 
 // metaLine renders the one-line dataset summary shown before analysis

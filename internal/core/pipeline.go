@@ -387,3 +387,23 @@ func (p *Pipeline) Close() error {
 	}
 	return nil
 }
+
+// Abort tears the pipeline down without folding: pending batches are
+// discarded, workers are joined, and the primaries keep whatever state
+// they had before the pipeline started. This is the error path — a read
+// that failed partway must not leak a partial fold into the primaries.
+// Safe after Close (it becomes a no-op), so `defer p.Abort()` pairs
+// naturally with an explicit Close on success.
+func (p *Pipeline) Abort() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for i, w := range p.workers {
+		p.pending[i] = nil
+		close(w.ch)
+	}
+	for _, w := range p.workers {
+		<-w.done
+	}
+}

@@ -287,7 +287,7 @@ func mergePart(ctx context.Context, w *Writer, path string, opt MergeOptions) (P
 		cov.ChecksumOK = false
 	}
 	if haveDeclared {
-		if err := checkPartCodecs(declared, sr.Codecs); err != nil {
+		if err := CheckPartCodecs(declared, sr.Codecs); err != nil {
 			cov.CodecOK = false
 			if !opt.Tolerant {
 				return cov, err
@@ -297,14 +297,15 @@ func mergePart(ctx context.Context, w *Writer, path string, opt MergeOptions) (P
 	return cov, nil
 }
 
-// checkPartCodecs verifies the codecs observed across a part's intact
+// CheckPartCodecs verifies the codecs observed across a part's intact
 // frames against the compression policy the part declares. The allowed
 // set is the policy's codec chain plus identity: a writer under any
 // policy falls back to identity per block when encoding does not pay,
 // so identity frames inside an "lz" part are legitimate, and an "auto"
 // part may mix delta, lz, and identity — but an lz frame inside an
-// undeclared part is not.
-func checkPartCodecs(declared string, observed telemetry.CodecSet) error {
+// undeclared part is not. Merge runs it per part; direct manifest
+// analysis reuses the same check on each part's read coverage.
+func CheckPartCodecs(declared string, observed telemetry.CodecSet) error {
 	chain, ok := telemetry.CodecChainByName(declared)
 	if !ok {
 		return fmt.Errorf("%w: part declares codec %q, unknown to this build", ErrCodecMismatch, declared)

@@ -121,11 +121,28 @@ func (pr *ParallelReader) Workers() int { return pr.opts.Workers }
 // Raw reports whether the file is a headerless telemetry stream.
 func (pr *ParallelReader) Raw() bool { return pr.raw }
 
-// Coverage returns the salvage report of a completed tolerant read and
-// whether one has run. It mirrors Scan's accounting exactly: the same
-// blocks are counted intact, corrupt, or skipped.
+// Coverage returns the stream report of a completed read and whether
+// one finished. A tolerant read mirrors Scan's accounting exactly (the
+// same blocks counted intact, corrupt, or skipped); a strict read that
+// ran to completion reports the intact stream it delivered — blocks,
+// records, and per-codec block counts, with nothing corrupt or skipped
+// by construction. A read that returned an error reports nothing.
 func (pr *ParallelReader) Coverage() (telemetry.SalvageReport, bool) {
 	return pr.coverage, pr.covered
+}
+
+// finishStrict sums the per-goroutine block counts of a successful
+// strict read into the reader's coverage. An empty stream still reports
+// as v2: there is nothing to contradict the newest format.
+func (pr *ParallelReader) finishStrict(reports []telemetry.SalvageReport) {
+	var total telemetry.SalvageReport
+	for i := range reports {
+		total.Add(reports[i])
+	}
+	if total.Version == 0 {
+		total.Version = 2
+	}
+	pr.coverage, pr.covered = total, true
 }
 
 // Close closes the underlying file.
@@ -181,10 +198,14 @@ func workerLabeled(stage string, w int, body func()) {
 
 // result is one decoded block (or a positioned error) on its way from
 // the pool to delivery. In unordered mode only errors flow through.
+// codec and cksum carry the block's stored codec and frame version so
+// ordered delivery can count strict-mode coverage.
 type result struct {
-	idx  int
-	recs []telemetry.Observation
-	err  error
+	idx   int
+	recs  []telemetry.Observation
+	err   error
+	codec telemetry.CodecID
+	cksum bool
 }
 
 // pools recycles payload and record-batch scratch buffers across
@@ -260,6 +281,9 @@ func (pr *ParallelReader) runStrict(ctx context.Context, fn func(Batch) error) e
 	// deliver. Each worker keeps its own decompression scratch, so a
 	// compressed stream decodes with zero steady-state allocations and
 	// the LZ work parallelizes with the rest of the block decode.
+	// reports[w] counts worker w's unordered deliveries (ordered
+	// delivery counts in deliver, at reports[Workers]).
+	reports := make([]telemetry.SalvageReport, pr.opts.Workers+1)
 	var wg sync.WaitGroup
 	for w := 0; w < pr.opts.Workers; w++ {
 		wg.Add(1)
@@ -272,9 +296,11 @@ func (pr *ParallelReader) runStrict(ctx context.Context, fn func(Batch) error) e
 					scratch = sc
 					bufs.putPayload(blk.Payload)
 					if err == nil && pr.opts.Unordered {
+						n := len(recs)
 						err = fn(Batch{Index: blk.Index, Recs: recs})
 						bufs.putRecs(recs)
 						if err == nil {
+							reports[w].RecordBlock(blk.Codec, blk.Checksummed(), n)
 							continue
 						}
 						recs = nil
@@ -283,7 +309,8 @@ func (pr *ParallelReader) runStrict(ctx context.Context, fn func(Batch) error) e
 						recs = nil
 					}
 					select {
-					case results <- result{idx: blk.Index, recs: recs, err: err}:
+					case results <- result{idx: blk.Index, recs: recs, err: err,
+						codec: blk.Codec, cksum: blk.Checksummed()}:
 					case <-ctx.Done():
 						return
 					}
@@ -296,12 +323,18 @@ func (pr *ParallelReader) runStrict(ctx context.Context, fn func(Batch) error) e
 		close(results)
 	}()
 
-	if err := pr.deliver(cancel, results, fn, &bufs); err != nil {
+	if err := pr.deliver(cancel, results, fn, &bufs, &reports[pr.opts.Workers]); err != nil {
 		return err
 	}
 	// deliver only cancels after recording an error, so a cancelled
 	// context here means the caller's ctx fired mid-read.
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Workers have been joined (results closed), so every per-worker
+	// report happens-before this sum.
+	pr.finishStrict(reports)
+	return nil
 }
 
 // Note that the scan error carries the index where the sequential
@@ -379,7 +412,7 @@ func (pr *ParallelReader) runTolerant(ctx context.Context, fn func(Batch) error)
 		close(results)
 	}()
 
-	if err := pr.deliver(cancel, results, fn, &bufs); err != nil {
+	if err := pr.deliver(cancel, results, fn, &bufs, nil); err != nil {
 		return err
 	}
 	if err := ctx.Err(); err != nil {
@@ -399,8 +432,10 @@ func (pr *ParallelReader) runTolerant(ctx context.Context, fn func(Batch) error)
 // out-of-order blocks back until their predecessors have been handed to
 // fn; unordered mode only watches for errors (delivery already happened
 // in the workers). On the first error it cancels the pipeline and keeps
-// draining so no goroutine is left blocked on a send.
-func (pr *ParallelReader) deliver(cancel context.CancelFunc, results <-chan result, fn func(Batch) error, bufs *pools) error {
+// draining so no goroutine is left blocked on a send. A non-nil rep
+// counts each successfully delivered block (strict ordered reads;
+// tolerant reads take their coverage from the salvage scan instead).
+func (pr *ParallelReader) deliver(cancel context.CancelFunc, results <-chan result, fn func(Batch) error, bufs *pools, rep *telemetry.SalvageReport) error {
 	var (
 		firstErr error
 		next     int
@@ -442,6 +477,8 @@ func (pr *ParallelReader) deliver(cancel context.CancelFunc, results <-chan resu
 			}
 			if err := fn(Batch{Index: next, Recs: h.recs}); err != nil {
 				fail(err)
+			} else if rep != nil {
+				rep.RecordBlock(h.codec, h.cksum, len(h.recs))
 			}
 			bufs.putRecs(h.recs)
 			next++
@@ -539,6 +576,7 @@ func (pr *ParallelReader) workerStrict(ctx context.Context, fns []func(Batch) er
 		}
 	})
 
+	reports := make([]telemetry.SalvageReport, len(fns))
 	var wg sync.WaitGroup
 	for w := range fns {
 		wg.Add(1)
@@ -564,6 +602,9 @@ func (pr *ParallelReader) workerStrict(ctx context.Context, fns []func(Batch) er
 					bufs.putPayload(blk.Payload)
 					if err == nil {
 						err = fn(Batch{Index: blk.Index, Recs: recs})
+						if err == nil {
+							reports[w].RecordBlock(blk.Codec, blk.Checksummed(), len(recs))
+						}
 					}
 					bufs.putRecs(recs)
 					if err != nil {
@@ -579,7 +620,11 @@ func (pr *ParallelReader) workerStrict(ctx context.Context, fns []func(Batch) er
 	if firstErr != nil {
 		return firstErr
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	pr.finishStrict(reports)
+	return nil
 }
 
 func (pr *ParallelReader) workerTolerant(ctx context.Context, fns []func(Batch) error) error {

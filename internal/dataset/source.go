@@ -1,0 +1,235 @@
+package dataset
+
+// Sources: the unit of analysis. The paper's analyses run over one
+// logical telemetry corpus, but on disk that corpus may be a single
+// merged .uv6 file, a sharded export's manifest.uv6m plus parts, or a
+// bare list of part files. A Source names the parts, carries whatever
+// expectations the container format declares (per-part user ranges,
+// codecs, whole-file checksums from a manifest), and reports its
+// capabilities so the planner can pick an execution mode without
+// knowing which concrete shape it was handed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SourceCaps describes what a Source can promise the planner and the
+// executor.
+type SourceCaps struct {
+	// PartCount is the number of independent part streams. A plain file
+	// counts as one part.
+	PartCount int
+	// SeekableParts reports whether every part is an independently
+	// openable file (true for all current sources; a future remote
+	// manifest union may stream).
+	SeekableParts bool
+	// Codec is the declared compression policy when every part agrees
+	// on one ("" when unknown or mixed). The executor cross-checks the
+	// per-part declarations individually; this is the summary view.
+	Codec string
+}
+
+// Source is one logical telemetry corpus: an ordered set of part files
+// plus whatever the container declares about them. Parts are analyzed
+// independently — for sharded exports each part covers a disjoint user
+// range, so per-part analyzer replicas fold exactly like generation
+// shards.
+type Source interface {
+	// Kind names the concrete shape: "file", "manifest", or "parts".
+	Kind() string
+	// Parts returns the part file paths in canonical order.
+	Parts() []string
+	// Expected returns the container's declared expectations for part i
+	// (codec, CRC32C, counts) when the container records them.
+	Expected(i int) (PartInfo, bool)
+	// Meta returns the dataset metadata the corpus describes, when
+	// known (false for headerless raw streams and bare part lists with
+	// no parseable header).
+	Meta() (Meta, bool)
+	// Caps reports the source's capabilities for planning.
+	Caps() SourceCaps
+}
+
+// probeMeta parses a dataset file's header without consuming the
+// stream, mirroring OpenParallel's accept rules: a headered v1/v2 file
+// yields its Meta, a headerless raw telemetry stream yields ok=false,
+// anything else is an error.
+func probeMeta(path string) (Meta, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, false, fmt.Errorf("dataset: open: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, headerSize)
+	n, err := io.ReadFull(f, hdr)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return Meta{}, false, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if n >= 3 && hdr[0] == 'u' && hdr[1] == 'v' && hdr[2] == '6' {
+		return Meta{}, false, nil // raw stream: no header to carry Meta
+	}
+	if n != headerSize {
+		return Meta{}, false, fmt.Errorf("dataset: read header: %w", io.ErrUnexpectedEOF)
+	}
+	var meta Meta
+	if err := json.Unmarshal(trimHeader(hdr), &meta); err != nil {
+		return Meta{}, false, fmt.Errorf("dataset: parse header: %w", err)
+	}
+	if err := verifyHeaderCRC(hdr, meta); err != nil {
+		return Meta{}, false, err
+	}
+	return meta, true, nil
+}
+
+// FileSource is a single dataset file (headered or raw stream).
+type FileSource struct {
+	path    string
+	meta    Meta
+	hasMeta bool
+}
+
+// NewFileSource probes path's header and wraps it as a one-part source.
+func NewFileSource(path string) (*FileSource, error) {
+	meta, ok, err := probeMeta(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSource{path: path, meta: meta, hasMeta: ok}, nil
+}
+
+func (s *FileSource) Kind() string                  { return "file" }
+func (s *FileSource) Parts() []string               { return []string{s.path} }
+func (s *FileSource) Expected(int) (PartInfo, bool) { return PartInfo{}, false }
+func (s *FileSource) Meta() (Meta, bool)            { return s.meta, s.hasMeta }
+func (s *FileSource) Caps() SourceCaps {
+	return SourceCaps{PartCount: 1, SeekableParts: true, Codec: s.meta.Codec}
+}
+
+// ManifestSource is a sharded export addressed by its manifest: part
+// paths resolve relative to the manifest file, and the manifest's
+// per-part declarations (codec, CRC32C, counts) become the executor's
+// cross-checks — the same expectations a merge verifies part by part.
+type ManifestSource struct {
+	man   *Manifest
+	parts []string
+}
+
+// OpenManifestSource reads a manifest and resolves its parts. path may
+// be the manifest file itself or a directory containing one under the
+// conventional name (manifest.uv6m). Every listed part must exist next
+// to the manifest; a missing part fails here, not mid-analysis.
+func OpenManifestSource(path string) (*ManifestSource, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, ManifestName)
+	}
+	man, err := ReadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	if !man.Complete {
+		return nil, fmt.Errorf("dataset: manifest %s is incomplete (export interrupted?)", path)
+	}
+	dir := filepath.Dir(path)
+	parts := make([]string, len(man.Parts))
+	for i, p := range man.Parts {
+		parts[i] = filepath.Join(dir, p.Name)
+		if _, err := os.Stat(parts[i]); err != nil {
+			return nil, fmt.Errorf("dataset: manifest part %q: %w", p.Name, err)
+		}
+	}
+	return &ManifestSource{man: man, parts: parts}, nil
+}
+
+func (s *ManifestSource) Kind() string    { return "manifest" }
+func (s *ManifestSource) Parts() []string { return s.parts }
+
+func (s *ManifestSource) Expected(i int) (PartInfo, bool) {
+	if i < 0 || i >= len(s.man.Parts) {
+		return PartInfo{}, false
+	}
+	return s.man.Parts[i], true
+}
+
+// Meta returns the manifest's merged-output metadata with the record
+// count filled in from the per-part totals — the same header a merge of
+// these parts would write.
+func (s *ManifestSource) Meta() (Meta, bool) {
+	m := s.man.Meta
+	m.Records = s.man.TotalRecords()
+	return m, true
+}
+
+func (s *ManifestSource) Caps() SourceCaps {
+	caps := SourceCaps{PartCount: len(s.parts), SeekableParts: true}
+	for i, p := range s.man.Parts {
+		if i == 0 {
+			caps.Codec = p.Codec
+		} else if caps.Codec != p.Codec {
+			caps.Codec = "" // mixed declarations: no summary policy
+			break
+		}
+	}
+	return caps
+}
+
+// Manifest exposes the parsed manifest for tools that report per-part
+// detail (verify, merge planning).
+func (s *ManifestSource) Manifest() *Manifest { return s.man }
+
+// PartsSource is a bare ordered list of part files with no manifest:
+// no declared expectations, metadata taken from the first part that
+// carries a parseable header.
+type PartsSource struct {
+	parts   []string
+	meta    Meta
+	hasMeta bool
+}
+
+// NewPartsSource wraps explicit part paths as a source, in the order
+// given. The caller asserts the parts cover disjoint user ranges (as
+// sharded exports do); nothing re-derives that from bare files.
+func NewPartsSource(paths ...string) (*PartsSource, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dataset: parts source needs at least one part")
+	}
+	s := &PartsSource{parts: append([]string(nil), paths...)}
+	for _, p := range paths {
+		meta, ok, err := probeMeta(p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			s.meta, s.hasMeta = meta, true
+			break
+		}
+	}
+	return s, nil
+}
+
+func (s *PartsSource) Kind() string                  { return "parts" }
+func (s *PartsSource) Parts() []string               { return s.parts }
+func (s *PartsSource) Expected(int) (PartInfo, bool) { return PartInfo{}, false }
+func (s *PartsSource) Meta() (Meta, bool)            { return s.meta, s.hasMeta }
+func (s *PartsSource) Caps() SourceCaps {
+	return SourceCaps{PartCount: len(s.parts), SeekableParts: true}
+}
+
+// OpenSource resolves a user-supplied path to the right source shape:
+// a directory means "the sharded export in here" (manifest.uv6m
+// inside), a .uv6m path is a manifest, anything else is a single
+// dataset file. This is what lets `analyze` take a merged file, an
+// export directory, or a manifest interchangeably.
+func OpenSource(path string) (Source, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return OpenManifestSource(filepath.Join(path, ManifestName))
+	}
+	if strings.HasSuffix(path, ".uv6m") || filepath.Base(path) == ManifestName {
+		return OpenManifestSource(path)
+	}
+	return NewFileSource(path)
+}

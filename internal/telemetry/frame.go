@@ -462,6 +462,45 @@ func (r *SalvageReport) addCodecBlock(id CodecID) {
 	r.CodecBlocks[id]++
 }
 
+// RecordBlock counts one delivered block toward the report: readers
+// that verify blocks inline (the strict parallel paths) use it to build
+// the same coverage a salvage walk reports. checksummed distinguishes
+// v2 frames (codec tracked, Version 2) from v1 pseudo-blocks.
+func (r *SalvageReport) RecordBlock(codec CodecID, checksummed bool, records int) {
+	r.Blocks++
+	r.Records += uint64(records)
+	if checksummed {
+		r.Version = 2
+		r.addCodecBlock(codec)
+	} else if r.Version == 0 {
+		r.Version = 1
+	}
+}
+
+// Add folds another part's report into r — the cross-part aggregation a
+// sharded source (manifest or explicit part list) presents as the
+// coverage of the whole logical stream: counts sum, codec sets union,
+// per-codec block counts add, and Version is the newest format seen.
+// Summed this way over a manifest's parts, the totals match what a
+// merge of the same parts reports per part (blocks recovered, records,
+// corrupt blocks, skipped bytes).
+func (r *SalvageReport) Add(o SalvageReport) {
+	if o.Version > r.Version {
+		r.Version = o.Version
+	}
+	r.Blocks += o.Blocks
+	r.CorruptBlocks += o.CorruptBlocks
+	r.Records += o.Records
+	r.SkippedBytes += o.SkippedBytes
+	r.Codecs |= o.Codecs
+	for id, n := range o.CodecBlocks {
+		if r.CodecBlocks == nil {
+			r.CodecBlocks = make(map[CodecID]uint64, len(o.CodecBlocks))
+		}
+		r.CodecBlocks[id] += n
+	}
+}
+
 // Intact reports whether the stream decoded end to end with nothing
 // skipped or corrupt.
 func (r SalvageReport) Intact() bool {

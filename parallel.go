@@ -12,7 +12,6 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
-	"sync/atomic"
 
 	"userv6/internal/core"
 	"userv6/internal/dataset"
@@ -203,6 +202,18 @@ func (s *Sim) AnalyzeParallelCtx(ctx context.Context, from, to simtime.Day, shar
 	return nil
 }
 
+// analyzeFileAs wraps path as a FileSource and runs it under the
+// requested mode — the shared body of the historical AnalyzeDataset*
+// entry points, which are now thin shims over the source/plan/execute
+// stack (see analyze.go).
+func analyzeFileAs(ctx context.Context, path string, workers int, set *core.AnalyzerSet, tolerant bool, req core.ModeRequest) (telemetry.SalvageReport, error) {
+	src, err := dataset.NewFileSource(path)
+	if err != nil {
+		return telemetry.SalvageReport{}, err
+	}
+	return AnalyzeSource(ctx, src, set, AnalyzeOptions{Workers: workers, Tolerant: tolerant, Mode: req})
+}
+
 // AnalyzeDatasetParallel replays a dataset file through an AnalyzerSet
 // with both halves of the pipeline parallel: workers goroutines decode
 // and checksum-verify blocks (dataset.OpenParallel) while an equal pool
@@ -212,31 +223,7 @@ func (s *Sim) AnalyzeParallelCtx(ctx context.Context, from, to simtime.Day, shar
 // strict mode the returned report covers the intact stream. The set's
 // primaries are only folded on success.
 func (s *Sim) AnalyzeDatasetParallel(ctx context.Context, path string, workers int, set *core.AnalyzerSet, tolerant bool) (telemetry.SalvageReport, error) {
-	pr, err := dataset.OpenParallel(path, dataset.ParallelOptions{Workers: workers, Tolerant: tolerant})
-	if err != nil {
-		return telemetry.SalvageReport{}, err
-	}
-	defer pr.Close()
-
-	pipe := set.NewPipeline(workers)
-	var records uint64
-	blocks := 0
-	if err := pr.ForEachBatch(ctx, func(b dataset.Batch) error {
-		pipe.ObserveBatch(b.Recs)
-		records += uint64(len(b.Recs))
-		blocks++
-		return nil
-	}); err != nil {
-		pipe.Close()
-		return telemetry.SalvageReport{}, err
-	}
-	if err := pipe.Close(); err != nil {
-		return telemetry.SalvageReport{}, err
-	}
-	if rep, ok := pr.Coverage(); ok {
-		return rep, nil
-	}
-	return telemetry.SalvageReport{Version: 2, Blocks: blocks, Records: records}, nil
+	return analyzeFileAs(ctx, path, workers, set, tolerant, core.RequestPipeline)
 }
 
 // AnalyzeDatasetFused replays a dataset file through an AnalyzerSet on
@@ -249,51 +236,11 @@ func (s *Sim) AnalyzeDatasetParallel(ctx context.Context, path string, workers i
 // *dataset.WorkerPanicError) the primaries are left unfolded. The path
 // is exact only when every registered analyzer declared a commutative
 // Merge, so a set that does not report Commutative() falls back to
-// AnalyzeDatasetParallel, whose hash routing preserves per-user order.
-// tolerant selects the salvage read; the returned report then covers
-// what the results describe, otherwise the intact stream.
+// the hash-routed pipeline, which preserves per-user order. tolerant
+// selects the salvage read; the returned report then covers what the
+// results describe, otherwise the intact stream.
 func (s *Sim) AnalyzeDatasetFused(ctx context.Context, path string, workers int, set *core.AnalyzerSet, tolerant bool) (telemetry.SalvageReport, error) {
-	if !set.Commutative() {
-		return s.AnalyzeDatasetParallel(ctx, path, workers, set, tolerant)
-	}
-	pr, err := dataset.OpenParallel(path, dataset.ParallelOptions{Workers: workers, Tolerant: tolerant})
-	if err != nil {
-		return telemetry.SalvageReport{}, err
-	}
-	defer pr.Close()
-
-	n := pr.Workers()
-	replicas := make([]*core.Replica, n)
-	records := make([]uint64, n)
-	blocks := make([]int, n)
-	// The factory runs serially before any worker starts (ForEachWorker's
-	// contract), so the replicas slice needs no lock; each callback then
-	// touches only its own index.
-	err = pr.ForEachWorker(ctx, func(w int) func(dataset.Batch) error {
-		r := set.NewReplica()
-		replicas[w] = r
-		return func(b dataset.Batch) error {
-			for _, o := range b.Recs {
-				r.Observe(o)
-			}
-			records[w] += uint64(len(b.Recs))
-			blocks[w]++
-			return nil
-		}
-	})
-	if err != nil {
-		return telemetry.SalvageReport{}, err
-	}
-	set.Fold(replicas...)
-	if rep, ok := pr.Coverage(); ok {
-		return rep, nil
-	}
-	rep := telemetry.SalvageReport{Version: 2}
-	for w := 0; w < n; w++ {
-		rep.Blocks += blocks[w]
-		rep.Records += records[w]
-	}
-	return rep, nil
+	return analyzeFileAs(ctx, path, workers, set, tolerant, core.RequestFused)
 }
 
 // AnalyzeDatasetUnordered replays a dataset file with completion-order
@@ -306,42 +253,7 @@ func (s *Sim) AnalyzeDatasetFused(ctx context.Context, path string, workers int,
 // non-commutative set is an error naming the offending registrations.
 // The set's primaries are only folded on success.
 func (s *Sim) AnalyzeDatasetUnordered(ctx context.Context, path string, workers int, set *core.AnalyzerSet, tolerant bool) (telemetry.SalvageReport, error) {
-	if names := set.NonCommutative(); len(names) > 0 {
-		return telemetry.SalvageReport{}, fmt.Errorf(
-			"userv6: unordered analysis requires every analyzer to declare a commutative Merge; non-commutative: %v", names)
-	}
-	pr, err := dataset.OpenParallel(path, dataset.ParallelOptions{Workers: workers, Tolerant: tolerant, Unordered: true})
-	if err != nil {
-		return telemetry.SalvageReport{}, err
-	}
-	defer pr.Close()
-
-	n := pr.Workers()
-	replicas := make([]*core.Replica, n)
-	pool := make(chan *core.Replica, n)
-	for i := range replicas {
-		replicas[i] = set.NewReplica()
-		pool <- replicas[i]
-	}
-	var records uint64
-	var blocks int64
-	if err := pr.ForEachBatch(ctx, func(b dataset.Batch) error {
-		r := <-pool
-		for _, o := range b.Recs {
-			r.Observe(o)
-		}
-		pool <- r
-		atomic.AddUint64(&records, uint64(len(b.Recs)))
-		atomic.AddInt64(&blocks, 1)
-		return nil
-	}); err != nil {
-		return telemetry.SalvageReport{}, err
-	}
-	set.Fold(replicas...)
-	if rep, ok := pr.Coverage(); ok {
-		return rep, nil
-	}
-	return telemetry.SalvageReport{Version: 2, Blocks: int(blocks), Records: records}, nil
+	return analyzeFileAs(ctx, path, workers, set, tolerant, core.RequestUnordered)
 }
 
 // Fig2Parallel computes the Figure 2 histograms using sharded
