@@ -17,7 +17,7 @@ FUZZ_TARGETS = \
 	./internal/dataset:FuzzDatasetOpen \
 	./internal/dataset:FuzzDatasetRoundTrip
 
-.PHONY: all build vet fmt-check test race faults fused-race fuzz-smoke bench-smoke bench-baseline ratio-gate ci clean
+.PHONY: all build vet fmt-check lint test race faults fused-race fuzz-smoke bench-smoke bench-baseline ratio-gate ci clean
 
 all: build
 
@@ -32,6 +32,14 @@ fmt-check:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# Repo-invariant static analysis (cmd/userv6vet): faultio seam
+# discipline, ctx-aware sleeps, commutative-analyzer Merge contracts,
+# errors.Is on sentinels, sync.Pool Get/Put balance. Exits non-zero on
+# any finding; see docs/STATIC_ANALYSIS.md for the rule catalog and the
+# //userv6vet:ignore suppression syntax.
+lint:
+	$(GO) run ./cmd/userv6vet ./...
 
 test:
 	$(GO) test ./...
@@ -98,7 +106,7 @@ bench-nightly-baseline:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime=$(NIGHTLY_BENCHTIME) $(BENCH_PKGS) 2>&1 | tee bench-nightly.txt
 	$(GO) run ./cmd/benchgate -in bench-nightly.txt -baseline bench/BENCH_nightly_baseline.json -out BENCH_nightly_results.json -max-ratio 1.3 -update
 
-ci: fmt-check vet build race faults fused-race fuzz-smoke bench-smoke ratio-gate
+ci: fmt-check vet lint build race faults fused-race fuzz-smoke bench-smoke ratio-gate
 
 clean:
 	$(GO) clean ./...

@@ -174,21 +174,12 @@ func runGen(args []string) {
 	memprofile := fs.String("memprofile", "", "write a heap profile to this path at exit")
 	fs.Parse(args)
 
-	stopProf := startCPUProfile(*cpuprofile)
-	defer stopProf()
-	defer writeMemProfile(*memprofile)
-
-	// A SIGINT/SIGTERM cancels generation at the next (user, day) batch;
-	// the writer then finalizes, so an interrupted run still leaves a
-	// valid, verifiable dataset holding everything generated so far.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	codecName := compress.policy
-
 	// -faults arms named failpoints over the dataset layer's filesystem
 	// seam: a debug rehearsal of the crash/transient-error recovery the
-	// fault-injection tests sweep exhaustively.
+	// fault-injection tests sweep exhaustively. Armed before anything
+	// opens a file — every write this command makes (datasets,
+	// manifests, even profiles) goes through the seam so coverage
+	// cannot silently erode.
 	fsys := faultio.OS
 	var injector *faultio.Injector
 	if *faults != "" {
@@ -198,6 +189,9 @@ func runGen(args []string) {
 		}
 		fsys = injector
 	}
+	// Registered before the profile defers so it runs after them:
+	// profile bytes flush at StopCPUProfile/WriteHeapProfile time, and
+	// a campaign aimed at a profile file must count those hits.
 	defer func() {
 		if injector == nil {
 			return
@@ -206,6 +200,18 @@ func runGen(args []string) {
 			fmt.Fprintf(os.Stderr, "failpoint %s: fired %d time(s)\n", p.Name, p.Hits)
 		}
 	}()
+
+	stopProf := startCPUProfile(fsys, *cpuprofile)
+	defer stopProf()
+	defer writeMemProfile(fsys, *memprofile)
+
+	// A SIGINT/SIGTERM cancels generation at the next (user, day) batch;
+	// the writer then finalizes, so an interrupted run still leaves a
+	// valid, verifiable dataset holding everything generated so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	codecName := compress.policy
 
 	if *resume {
 		if compress.policy != "" {
@@ -294,7 +300,7 @@ func runGen(args []string) {
 		return
 	}
 
-	f, err := os.Create(*out)
+	f, err := fsys.Create(*out)
 	if err != nil {
 		fatal(err)
 	}
@@ -332,13 +338,16 @@ func runGen(args []string) {
 	if err := flush(); err != nil {
 		fatal(err)
 	}
-	st, _ := f.Stat()
+	var size int64
+	if st, err := fsys.Stat(*out); err == nil {
+		size = st.Size()
+	}
 	note := ""
 	if genErr != nil {
 		note = " [interrupted]"
 	}
 	fmt.Printf("wrote %d observations (%d users, days %d-%d, %s) to %s (%d bytes)%s\n",
-		n, *users, *from, *to, *format, *out, st.Size(), note)
+		n, *users, *from, *to, *format, *out, size, note)
 }
 
 // runGenResume continues an interrupted dataset generation run. The
@@ -886,10 +895,10 @@ func runAnalyze(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	stopProf := startCPUProfile(*cpuprofile)
+	stopProf := startCPUProfile(faultio.OS, *cpuprofile)
 	rep, err := userv6.ExecutePlan(ctx, src, set, plan)
 	stopProf()
-	writeMemProfile(*memprofile)
+	writeMemProfile(faultio.OS, *memprofile)
 	if err != nil {
 		if !*tolerant {
 			err = fmt.Errorf("%w (rerun with -tolerant to analyze the intact blocks)", err)
@@ -938,12 +947,14 @@ func printCoverage(rep telemetry.SalvageReport) {
 }
 
 // startCPUProfile begins CPU profiling when path is non-empty and
-// returns the stop function (a no-op otherwise).
-func startCPUProfile(path string) func() {
+// returns the stop function (a no-op otherwise). The profile file is
+// created through the faultio seam so a `gen -faults` campaign covers
+// every write the command makes.
+func startCPUProfile(fsys faultio.FS, path string) func() {
 	if path == "" {
 		return func() {}
 	}
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		fatal(err)
 	}
@@ -959,11 +970,11 @@ func startCPUProfile(path string) func() {
 
 // writeMemProfile snapshots the heap to path (after a GC, so the
 // profile reflects live memory) when path is non-empty.
-func writeMemProfile(path string) {
+func writeMemProfile(fsys faultio.FS, path string) {
 	if path == "" {
 		return
 	}
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,134 @@
+// Command userv6vet is the repo's static-analysis gate: a small
+// go/ast + go/types pass framework enforcing the cross-cutting
+// invariants the test suite cannot see locally — mutating file I/O
+// flows through the internal/faultio seam, backoff sleeps stay
+// ctx-aware via internal/retry, commutative-analyzer registrations
+// carry a usable Merge, sentinel errors are matched with errors.Is,
+// and sync.Pool Gets have Puts. Zero dependencies: module-internal
+// packages are type-checked here and the standard library resolves
+// through go/importer's source mode.
+//
+// Usage:
+//
+//	userv6vet [packages]
+//
+// Package arguments select the module to analyze (the module whose
+// go.mod governs the named directory); analysis always covers the
+// whole module, because the invariants are module-wide ("./..." and
+// "." both mean the module around the working directory). Findings
+// print as file:line:col: rule-name: message and any finding makes
+// the exit status 1.
+//
+// Per-file suppression: a //userv6vet:ignore rule-name comment
+// anywhere in a file silences that rule for the file. Unknown rule
+// names and suppressions that no longer match any finding are
+// themselves findings, so stale comments rot loudly, not silently.
+// See docs/STATIC_ANALYSIS.md for the rule catalog and how to add a
+// rule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+func main() {
+	list := flag.Bool("rules", false, "list the rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: userv6vet [-rules] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := allRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Println(r.Name())
+		}
+		return
+	}
+
+	root, err := moduleRootFor(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "userv6vet:", err)
+		os.Exit(2)
+	}
+	mod, err := loadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "userv6vet:", err)
+		os.Exit(2)
+	}
+	diags := runRules(mod, rules)
+	for _, d := range diags {
+		fmt.Println(relToCwd(d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "userv6vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRootFor maps the package arguments ("./...", ".", a directory)
+// to the enclosing module root: the nearest parent directory holding a
+// go.mod. All arguments must land in the same module.
+func moduleRootFor(args []string) (string, error) {
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	root := ""
+	for _, arg := range args {
+		dir := filepath.Clean(trimPattern(arg))
+		r, err := findModuleRoot(dir)
+		if err != nil {
+			return "", err
+		}
+		if root == "" {
+			root = r
+		} else if root != r {
+			return "", fmt.Errorf("arguments span two modules (%s and %s)", root, r)
+		}
+	}
+	return root, nil
+}
+
+// trimPattern strips a trailing /... wildcard ("./..." -> ".").
+func trimPattern(arg string) string {
+	if arg == "..." {
+		return "."
+	}
+	if len(arg) > 4 && arg[len(arg)-4:] == "/..." {
+		return arg[:len(arg)-4]
+	}
+	return arg
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// relToCwd renders a diagnostic with a working-directory-relative
+// file path when that is shorter, matching go vet's output style.
+func relToCwd(d Diagnostic) string {
+	if cwd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && len(rel) < len(d.Pos.Filename) {
+			d.Pos.Filename = rel
+		}
+	}
+	return d.String()
+}

@@ -1,0 +1,91 @@
+package main
+
+// ctx-sleep: a bare time.Sleep inside a context-carrying function
+// ignores cancellation — the caller's ctx fires and the goroutine
+// keeps sleeping. internal/retry exists so every backoff in the tree
+// waits with ctx-aware sleeps under the one capped-exponential
+// policy; any other time.Sleep reachable from a ctx function is a
+// cancellation hole. The rule flags time.Sleep calls whose enclosing
+// function — or any enclosing function literal's parent — takes a
+// context.Context parameter, everywhere except internal/retry.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+type ctxSleepRule struct{}
+
+func (ctxSleepRule) Name() string { return "ctx-sleep" }
+
+func (r ctxSleepRule) Check(pass *Pass) []Diagnostic {
+	if relPathMatches(pass.RelPath(), "internal/retry") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		if pass.FileIsTest(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				diags = append(diags, r.checkFunc(pass, fd.Type, fd.Body, hasCtxParam(pass, fd.Type))...)
+			}
+		}
+	}
+	return diags
+}
+
+// checkFunc walks one function body. inCtx is whether any function on
+// the enclosing chain takes a context.Context; function literals
+// nested inside a ctx function inherit it (a goroutine spawned there
+// should still honor the ctx).
+func (r ctxSleepRule) checkFunc(pass *Pass, ft *ast.FuncType, body ast.Node, inCtx bool) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			diags = append(diags, r.checkFunc(pass, n.Type, n.Body, inCtx || hasCtxParam(pass, n.Type))...)
+			return false
+		case *ast.CallExpr:
+			if !inCtx {
+				return true
+			}
+			fn := calledFunc(pass.Pkg.Info, n)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				diags = append(diags, pass.Diag(r.Name(), n.Pos(),
+					"bare time.Sleep in a context-aware function ignores cancellation; use internal/retry's ctx-aware backoff"))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,80 @@
+package main
+
+// errors-is: sentinel errors (package-level `var ErrFoo = ...`) must
+// be matched with errors.Is, never == or !=. The moment any layer
+// wraps the error with fmt.Errorf("...: %w", err) — which the
+// dataset/merge/salvage stack does freely — an equality test silently
+// stops matching and a tolerant path turns into a hard failure, or
+// vice versa. The rule applies to test files too: an assertion that
+// breaks under wrapping is a refactor landmine. io.EOF comparisons
+// are untouched (the name carries no Err prefix, and the io.Reader
+// contract hands EOF back unwrapped by convention).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"unicode"
+)
+
+type errorsIsRule struct{}
+
+func (errorsIsRule) Name() string { return "errors-is" }
+
+func (r errorsIsRule) Check(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			v := sentinelVar(info, bin.X)
+			if v == nil {
+				v = sentinelVar(info, bin.Y)
+			}
+			if v != nil {
+				diags = append(diags, pass.Diag(r.Name(), bin.Pos(),
+					"%s compared with %s breaks under error wrapping; use errors.Is(err, %s)",
+					v.Name(), bin.Op, v.Name()))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// sentinelVar resolves expr to a package-level error variable whose
+// name starts with Err, or nil.
+func sentinelVar(info *types.Info, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	name := v.Name()
+	// The Err prefix per Go convention: "ErrFoo", not "Errors" or
+	// "ErrorKind" (the char after Err must not be lowercase).
+	if len(name) < 4 || name[:3] != "Err" || unicode.IsLower(rune(name[3])) {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

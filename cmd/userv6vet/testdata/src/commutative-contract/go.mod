@@ -1,0 +1,3 @@
+module example.com/commutative-contract
+
+go 1.22

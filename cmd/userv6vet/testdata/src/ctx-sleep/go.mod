@@ -1,0 +1,3 @@
+module example.com/ctx-sleep
+
+go 1.22

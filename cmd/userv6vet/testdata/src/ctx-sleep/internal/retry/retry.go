@@ -1,0 +1,16 @@
+// internal/retry is the one place a sleep primitive may live: the
+// rule exempts the package that implements the ctx-aware backoff.
+package retry
+
+import (
+	"context"
+	"time"
+)
+
+func Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	time.Sleep(d)
+	return nil
+}

@@ -1,0 +1,44 @@
+// Fixture for the ctx-sleep rule: bare time.Sleep in a
+// context-carrying function (or a literal nested in one) is flagged;
+// ctx-free functions and internal/retry are not.
+package worker
+
+import (
+	"context"
+	"time"
+)
+
+func Poll(ctx context.Context) {
+	for ctx.Err() == nil {
+		time.Sleep(time.Second) // want `ctx-sleep: bare time\.Sleep in a context-aware function`
+	}
+}
+
+func PollNested(ctx context.Context) {
+	go func() {
+		time.Sleep(time.Second) // want `ctx-sleep: bare time\.Sleep in a context-aware function`
+	}()
+}
+
+func LiteralTakesCtx() func(context.Context) {
+	return func(ctx context.Context) {
+		time.Sleep(time.Second) // want `ctx-sleep: bare time\.Sleep in a context-aware function`
+	}
+}
+
+// No context anywhere on the chain: a plain helper may sleep.
+func Backoff() {
+	time.Sleep(time.Millisecond)
+}
+
+// Waiting on the ctx-aware clock is exactly what the rule wants.
+func GoodWait(ctx context.Context) error {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

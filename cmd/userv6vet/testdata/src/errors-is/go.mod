@@ -1,0 +1,3 @@
+module example.com/errors-is
+
+go 1.22

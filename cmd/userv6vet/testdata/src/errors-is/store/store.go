@@ -1,0 +1,35 @@
+// Fixture for the errors-is rule: ==/!= against Err*-named
+// package-level sentinels is flagged (module-local and imported,
+// test files included); errors.Is, io.EOF, and non-sentinel names
+// are not.
+package store
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrClosed = errors.New("store: closed")
+
+// ErrorKind is error-typed but the name is not sentinel-shaped.
+var ErrorKind error = errors.New("store: kind")
+
+func Check(err error) bool {
+	if err == ErrClosed { // want `errors-is: ErrClosed compared with == breaks under error wrapping`
+		return true
+	}
+	if err != io.ErrUnexpectedEOF { // want `errors-is: ErrUnexpectedEOF compared with != breaks under error wrapping`
+		return false
+	}
+	return false
+}
+
+func CheckRight(err error) bool {
+	if errors.Is(err, ErrClosed) {
+		return true
+	}
+	if err == io.EOF { // io.EOF is handed back unwrapped by contract
+		return true
+	}
+	return err == ErrorKind
+}

@@ -1,0 +1,7 @@
+package store
+
+// The rule covers test files: assertions that break under wrapping
+// are refactor landmines.
+func assertClosed(err error) bool {
+	return err == ErrClosed // want `errors-is: ErrClosed compared with == breaks under error wrapping`
+}

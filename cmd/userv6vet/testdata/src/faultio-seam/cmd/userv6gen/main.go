@@ -1,0 +1,7 @@
+package main
+
+import "os"
+
+func main() {
+	os.MkdirAll("out", 0o755) // want `faultio-seam: direct os\.MkdirAll bypasses`
+}

@@ -1,0 +1,3 @@
+module example.com/faultio-seam
+
+go 1.22

@@ -1,0 +1,42 @@
+// Fixture for the faultio-seam rule: mutating os calls inside the
+// scoped packages must be flagged; reads and out-of-scope packages
+// must not.
+package dataset
+
+import "os"
+
+func Export(path string) error {
+	f, err := os.Create(path) // want `faultio-seam: direct os\.Create bypasses the fault-injection seam`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := os.MkdirAll("shards", 0o755); err != nil { // want `faultio-seam: direct os\.MkdirAll bypasses`
+		return err
+	}
+	if err := os.Rename(path, path+".final"); err != nil { // want `faultio-seam: direct os\.Rename bypasses`
+		return err
+	}
+	return os.Remove(path + ".tmp") // want `faultio-seam: direct os\.Remove bypasses`
+}
+
+func Append(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644) // want `faultio-seam: direct os\.OpenFile bypasses`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Reads never mutate; the seam does not gate them.
+func Probe(path string) ([]byte, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	return os.ReadFile(path)
+}

@@ -1,0 +1,9 @@
+// The faultio package is where the os calls belong: it implements the
+// seam.
+package faultio
+
+import "os"
+
+func Create(name string) (*os.File, error) { return os.Create(name) }
+
+func Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }

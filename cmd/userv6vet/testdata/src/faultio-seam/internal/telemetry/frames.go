@@ -1,0 +1,11 @@
+package telemetry
+
+import "os"
+
+func Spill(path string) error {
+	f, err := os.Create(path) // want `faultio-seam: direct os\.Create bypasses`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

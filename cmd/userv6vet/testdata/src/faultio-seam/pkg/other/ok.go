@@ -1,0 +1,13 @@
+// Outside the scoped packages the rule stays silent: the seam only
+// covers the dataset layer's I/O.
+package other
+
+import "os"
+
+func Touch(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,39 @@
+// Fixture for the pool-discipline rule: a Get with no Put on any
+// path leaks the pooled object; Puts anywhere in the function
+// (including defers and nested literals) or returning the object to
+// the caller transfer the responsibility.
+package buf
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+func Leak() int {
+	b := pool.Get().(*[]byte) // want `pool-discipline: sync\.Pool\.Get with no Put on any return path`
+	return len(*b)
+}
+
+func BalancedDefer() int {
+	b := pool.Get().(*[]byte)
+	defer pool.Put(b)
+	return len(*b)
+}
+
+func BalancedNested() {
+	b := pool.Get().(*[]byte)
+	func() { pool.Put(b) }()
+}
+
+// Accessor shape: the caller owns the object and its Put.
+func Acquire() []byte {
+	b := pool.Get().(*[]byte)
+	return (*b)[:0]
+}
+
+func AcquireDirect() any {
+	return pool.Get()
+}
+
+func Release(b []byte) {
+	pool.Put(&b)
+}

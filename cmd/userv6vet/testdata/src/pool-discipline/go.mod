@@ -1,0 +1,3 @@
+module example.com/pool-discipline
+
+go 1.22

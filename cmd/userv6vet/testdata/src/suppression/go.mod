@@ -1,0 +1,3 @@
+module example.com/suppression
+
+go 1.22

@@ -1,0 +1,7 @@
+// A suppression with nothing left to suppress is itself a finding —
+// that is how stale directives rot loudly.
+//
+//userv6vet:ignore errors-is // want `suppression: unused suppression: rule "errors-is" reports nothing in this file`
+package quiet
+
+func Fine() int { return 1 }

@@ -1,0 +1,14 @@
+// A file-level ignore directive silences the named rule for this
+// file only; the violation below must NOT be reported.
+//
+//userv6vet:ignore ctx-sleep
+package quiet
+
+import (
+	"context"
+	"time"
+)
+
+func Nap(ctx context.Context) {
+	time.Sleep(time.Millisecond)
+}

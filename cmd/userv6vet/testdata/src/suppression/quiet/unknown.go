@@ -1,0 +1,6 @@
+// Naming a rule that does not exist is a finding, not a silent no-op.
+//
+//userv6vet:ignore no-such-rule // want `suppression: ignore directive names unknown rule "no-such-rule"`
+package quiet
+
+func AlsoFine() int { return 2 }

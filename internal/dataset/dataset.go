@@ -435,7 +435,7 @@ func salvage(path string, emit telemetry.EmitFunc) (ScanReport, error) {
 	var rep ScanReport
 	hdr := make([]byte, headerSize)
 	n, err := io.ReadFull(f, hdr)
-	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+	if err != nil && err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) {
 		return ScanReport{}, fmt.Errorf("dataset: read header: %w", err)
 	}
 	hdr = hdr[:n]

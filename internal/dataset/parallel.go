@@ -82,7 +82,7 @@ func OpenParallel(path string, opts ParallelOptions) (*ParallelReader, error) {
 	}
 	hdr := make([]byte, headerSize)
 	n, err := io.ReadFull(f, hdr)
-	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+	if err != nil && err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) {
 		f.Close()
 		return nil, fmt.Errorf("dataset: read header: %w", err)
 	}

@@ -11,6 +11,7 @@ package dataset
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -67,7 +68,7 @@ func probeMeta(path string) (Meta, bool, error) {
 	defer f.Close()
 	hdr := make([]byte, headerSize)
 	n, err := io.ReadFull(f, hdr)
-	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+	if err != nil && err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) {
 		return Meta{}, false, fmt.Errorf("dataset: read header: %w", err)
 	}
 	if n >= 3 && hdr[0] == 'u' && hdr[1] == 'v' && hdr[2] == '6' {

@@ -11,6 +11,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -153,7 +154,7 @@ func (r *BlockReader) next(buf []byte) (RawBlock, error) {
 			if err == io.EOF {
 				return RawBlock{}, io.EOF
 			}
-			if err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
 				return RawBlock{}, fmt.Errorf("%w (truncated signature)", ErrBadMagic)
 			}
 			return RawBlock{}, fmt.Errorf("telemetry: read header: %w", err)
@@ -184,7 +185,7 @@ func (r *BlockReader) nextV1(buf []byte) (RawBlock, error) {
 	const chunk = DefaultBlockRecords * recordSize
 	buf = sliceFor(buf, chunk)
 	n, err := io.ReadFull(r.br, buf)
-	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+	if err != nil && err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) {
 		return RawBlock{}, fmt.Errorf("telemetry: read record: %w", err)
 	}
 	if n == 0 {

@@ -158,7 +158,7 @@ func (r *Reader) Read() (Observation, error) {
 			if err == io.EOF {
 				return Observation{}, io.EOF
 			}
-			if err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
 				return Observation{}, fmt.Errorf("%w (truncated signature)", ErrBadMagic)
 			}
 			return Observation{}, fmt.Errorf("telemetry: read header: %w", err)
@@ -184,7 +184,7 @@ func (r *Reader) Read() (Observation, error) {
 		if err == io.EOF {
 			return Observation{}, io.EOF
 		}
-		if err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return Observation{}, fmt.Errorf("%w (truncated record)", ErrCorrupt)
 		}
 		return Observation{}, fmt.Errorf("telemetry: read record: %w", err)

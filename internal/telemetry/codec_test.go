@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -66,7 +67,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 
 func TestBinaryBadMagic(t *testing.T) {
 	r := NewReader(bytes.NewBufferString("nope-not-telemetry"))
-	if _, err := r.Read(); err != ErrBadMagic {
+	if _, err := r.Read(); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("err = %v, want ErrBadMagic", err)
 	}
 }
